@@ -1,0 +1,41 @@
+"""Ablation -- target miscoverage alpha (paper fixes alpha = 0.1).
+
+Sweeps alpha over {0.05, 0.1, 0.2} for CQR-LR and CQR-CatBoost at
+25 degC / 0 h.  Expected shape: empirical coverage tracks ``1 − alpha``
+at every level (the conformal guarantee is level-uniform) while the
+interval length grows as alpha shrinks -- quantifying the price of the
+paper's 90 % choice versus a stricter 95 %.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.eval.experiments import run_region_experiment
+from repro.eval.reporting import format_table
+
+ALPHAS = (0.05, 0.1, 0.2)
+METHODS = ("CQR LR", "CQR CatBoost")
+
+
+def _render(dataset, profile) -> str:
+    rows = []
+    for method in METHODS:
+        for alpha in ALPHAS:
+            result = run_region_experiment(
+                dataset, method, 25.0, 0, alpha=alpha, profile=profile
+            )
+            rows.append(
+                [method, alpha, (1 - alpha) * 100.0, result.coverage * 100.0, result.width]
+            )
+    return format_table(
+        ["Method", "alpha", "Target (%)", "Coverage (%)", "Len (mV)"],
+        rows,
+        title="Ablation | coverage level alpha (25C, 0h)",
+        float_format="{:.2f}",
+    )
+
+
+def test_ablation_alpha(benchmark, dataset, profile):
+    text = benchmark.pedantic(_render, args=(dataset, profile), rounds=1, iterations=1)
+    publish("ablation_alpha", text)

@@ -1,0 +1,124 @@
+"""Ablation -- marginal vs group-conditional (Mondrian) conformal coverage.
+
+Marginal conformal prediction guarantees coverage *averaged over the
+whole population*; an automotive quality flow usually needs it per
+subpopulation (per wafer zone, per speed bin).  This benchmark generates
+a lot with wafer hierarchy enabled (centre/mid/edge ring zones carry
+systematically different silicon), then compares:
+
+* marginal split-CP around a linear model, audited per zone,
+* Mondrian split-CP calibrated per zone.
+
+Expected shape: marginal CP shows a visible coverage spread across zones
+(over-covering the easy zone, under-covering the hard one) while
+Mondrian levels every zone near the target, paying with zone-dependent
+width.  The zone label rides along as the last feature column so the
+group function can read it at predict time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_SEED, publish
+
+from repro.core import MondrianConformalRegressor, SplitConformalRegressor
+from repro.eval.diagnostics import coverage_by_group
+from repro.eval.reporting import format_table
+from repro.features.selection import CFSSelectedRegressor
+from repro.models import LinearRegression
+from repro.silicon import SiliconDataset, WaferModel
+
+N_ZONES = 3
+N_REPEATS = 5
+
+
+def _render(profile) -> str:
+    # A dedicated lot with pronounced wafer structure (stronger radial
+    # signature than default so the zone effect is visible at n=156).
+    wafer_model = WaferModel(radial_amplitude_v=0.012, radial_sigma_v=0.003)
+    dataset = SiliconDataset.generate(seed=BENCH_SEED, wafer_model=wafer_model)
+    X_raw, _ = dataset.features(0)
+    y_all = dataset.target(-45.0, 0) * 1000.0  # the zone-sensitive corner
+    # Equal-population radius terciles: geometric rings leave the centre
+    # zone with too few chips to calibrate a per-zone quantile at n=156.
+    radius = np.hypot(dataset.wafer.die_xy[:, 0], dataset.wafer.die_xy[:, 1])
+    boundaries = np.quantile(radius, [1 / 3, 2 / 3])
+    zones = np.searchsorted(boundaries, radius, side="right").astype(float)
+    X_all = np.hstack([X_raw, zones[:, None]])  # zone rides as last column
+
+    def group_function(X):
+        return X[:, -1].astype(int)
+
+    per_zone = {
+        label: {"marginal": [], "mondrian": []} for label in range(N_ZONES)
+    }
+    widths = {"marginal": [], "mondrian": []}
+    for repeat in range(N_REPEATS):
+        permutation = np.random.default_rng(repeat).permutation(y_all.shape[0])
+        X, y = X_all[permutation], y_all[permutation]
+        train, test = permutation[:117], permutation[117:]
+        X_train, y_train = X[:117], y[:117]
+        X_test, y_test = X[117:], y[117:]
+
+        base = CFSSelectedRegressor(LinearRegression(), k=10)
+        marginal = SplitConformalRegressor(
+            base, alpha=0.1, random_state=repeat
+        ).fit(X_train, y_train)
+        mondrian = MondrianConformalRegressor(
+            CFSSelectedRegressor(LinearRegression(), k=10),
+            group_function,
+            alpha=0.1,
+            calibration_fraction=0.4,  # per-zone quantiles need members
+            random_state=repeat,
+        ).fit(X_train, y_train)
+
+        for name, model in (("marginal", marginal), ("mondrian", mondrian)):
+            intervals = model.predict_interval(X_test)
+            widths[name].append(intervals.mean_width)
+            report = coverage_by_group(
+                intervals, y_test, group_function(X_test)
+            )
+            for label, coverage in zip(report.groups, report.coverages):
+                per_zone[int(label)][name].append(coverage)
+
+    zone_names = {0: "centre", 1: "mid", 2: "edge"}
+    rows = []
+    for label in range(N_ZONES):
+        rows.append(
+            [
+                zone_names[label],
+                float(np.mean(per_zone[label]["marginal"])) * 100.0,
+                float(np.mean(per_zone[label]["mondrian"])) * 100.0,
+            ]
+        )
+    rows.append(
+        [
+            "mean width (mV)",
+            float(np.mean(widths["marginal"])),
+            float(np.mean(widths["mondrian"])),
+        ]
+    )
+    table = format_table(
+        ["Wafer zone", "Marginal CP cov (%)", "Mondrian CP cov (%)"],
+        rows,
+        title=(
+            "Ablation | per-wafer-zone coverage, -45C, 0h "
+            f"(alpha=0.1, mean of {N_REPEATS} splits)"
+        ),
+    )
+    spread_marginal = max(
+        abs(np.mean(per_zone[z]["marginal"]) - 0.9) for z in range(N_ZONES)
+    )
+    spread_mondrian = max(
+        abs(np.mean(per_zone[z]["mondrian"]) - 0.9) for z in range(N_ZONES)
+    )
+    note = (
+        f"\nworst zone deviation from 90% target: marginal "
+        f"{spread_marginal*100:.1f} pts, Mondrian {spread_mondrian*100:.1f} pts"
+    )
+    return table + note
+
+
+def test_ablation_mondrian(benchmark, profile):
+    text = benchmark.pedantic(_render, args=(profile,), rounds=1, iterations=1)
+    publish("ablation_mondrian", text)

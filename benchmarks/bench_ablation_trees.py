@@ -1,0 +1,63 @@
+"""Ablation -- CatBoost tree count (the paper's 1000 -> 100 reduction).
+
+Section IV-C.3: "The default number is 1000, which seems too large for
+our small dataset including 156 chips, and potentially causes
+over-fitting.  Therefore, we reduce it to 100."  This ablation measures
+what that choice buys on our lot: point-prediction R² and the
+conformalized interval length/coverage as the boosting budget grows.
+
+Expected shape: R² saturates (or dips) beyond ~100 rounds while fit cost
+grows linearly; the CQR interval length is flat-to-worse at large
+budgets because the conformal correction absorbs whatever the extra
+trees overfit.  (Coverage is guaranteed at every budget -- the point of
+CQR is that the tree count cannot break it.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from conftest import publish
+
+from repro.eval.experiments import run_point_experiment, run_region_experiment
+from repro.eval.reporting import format_table
+
+TREE_BUDGETS = (25, 100, 400)
+
+
+def _render(dataset, profile) -> str:
+    rows = []
+    for n_trees in TREE_BUDGETS:
+        tuned = dataclasses.replace(profile, catboost_estimators=n_trees)
+        start = time.perf_counter()
+        point = run_point_experiment(
+            dataset, "CatBoost", 25.0, 0, profile=tuned
+        )
+        region = run_region_experiment(
+            dataset, "CQR CatBoost", 25.0, 0, profile=tuned
+        )
+        seconds = time.perf_counter() - start
+        rows.append(
+            [
+                n_trees,
+                point.r2,
+                point.rmse,
+                region.width,
+                region.coverage * 100.0,
+                seconds,
+            ]
+        )
+    return format_table(
+        ["Trees", "R^2", "RMSE (mV)", "CQR len (mV)", "CQR cov (%)", "Wall (s)"],
+        rows,
+        title=(
+            "Ablation | CatBoost boosting budget (25C, 0h; paper reduces "
+            "1000 -> 100)"
+        ),
+    )
+
+
+def test_ablation_catboost_trees(benchmark, dataset, profile):
+    text = benchmark.pedantic(_render, args=(dataset, profile), rounds=1, iterations=1)
+    publish("ablation_catboost_trees", text)

@@ -1,0 +1,54 @@
+"""Fig. 3 -- CQR CatBoost interval length per feature configuration.
+
+Regenerates the paper's Figure 3: the average CQR-CatBoost interval
+length at every stress read point and temperature, for the three feature
+sets of Section IV-G:
+
+1. on-chip monitor + parametric data (the Table III configuration),
+2. parametric test data only,
+3. on-chip monitor data only.
+
+Expected shape: the combined set is shortest; on-chip-only beats
+parametric-only despite having ~10x fewer columns (168+10 monitors vs
+1800 parametric channels) -- monitors carry more Vmin information per
+channel.  Table IV (bench_table4) averages these series over read points.
+
+The (feature set x temperature x read point) grid is computed once per
+session and shared with the Table IV benchmark via the ``fig3_grid``
+fixture.
+"""
+
+from __future__ import annotations
+
+from conftest import FEATURE_SETS, publish
+
+from repro.eval.reporting import format_series
+
+
+def _render(fig3_grid, bench_scope) -> str:
+    temperatures, read_points = bench_scope
+    sections = []
+    for temperature in temperatures:
+        series = {
+            label: [fig3_grid[(label, temperature, hours)] for hours in read_points]
+            for label, _ in FEATURE_SETS
+        }
+        sections.append(
+            format_series(
+                "hours",
+                list(read_points),
+                series,
+                title=(
+                    "Fig.3 | CQR CatBoost interval length (mV) @ "
+                    f"{temperature:g}C by feature set"
+                ),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def test_fig3_feature_sets(benchmark, fig3_grid, bench_scope):
+    text = benchmark.pedantic(
+        _render, args=(fig3_grid, bench_scope), rounds=1, iterations=1
+    )
+    publish("fig3_feature_sets", text)

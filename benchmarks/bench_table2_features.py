@@ -1,0 +1,87 @@
+"""Table II -- input feature inventory of the (synthetic) dataset.
+
+The paper's Table II describes the dataset rather than a result:
+channel counts, measurement temperatures, and read points per feature
+class.  This benchmark regenerates the same inventory from the actual
+generated lot -- by construction it must match the paper's quantities
+exactly (156 chips, 1800 parametric, 168 ROD, 10 CPD) -- and doubles as
+a timing benchmark for full-lot generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import publish
+
+from repro.eval.reporting import format_table
+from repro.silicon import (
+    CPD_TEMPERATURE_C,
+    ROD_TEMPERATURE_C,
+    SiliconDataset,
+)
+
+
+def _render(dataset) -> str:
+    parametric_temps = sorted(set(dataset.parametric_temperatures.tolist()))
+    rows = [
+        [
+            "Quantity",
+            dataset.parametric.shape[1],
+            len(dataset.rod_names),
+            len(dataset.cpd_names),
+        ],
+        [
+            "Temperature (degC)",
+            ", ".join(f"{t:g}" for t in parametric_temps),
+            f"{ROD_TEMPERATURE_C:g}",
+            f"{CPD_TEMPERATURE_C:g}",
+        ],
+        [
+            "Read point (hour)",
+            "0",
+            ", ".join(str(h) for h in dataset.read_points),
+            ", ".join(str(h) for h in dataset.read_points),
+        ],
+    ]
+    table = format_table(
+        ["Attribute", "Parametric", "On-chip (ROD)", "On-chip (CPD)"],
+        rows,
+        title="Table II | input feature description (as generated)",
+    )
+    vmin_rows = []
+    for temperature in dataset.temperatures:
+        fresh = dataset.vmin[(temperature, dataset.read_points[0])]
+        aged = dataset.vmin[(temperature, dataset.read_points[-1])]
+        vmin_rows.append(
+            [
+                f"{temperature:g}C",
+                float(np.median(fresh) * 1e3),
+                float(np.std(fresh) * 1e3),
+                float(np.median(aged) * 1e3),
+                float(np.std(aged) * 1e3),
+            ]
+        )
+    population = format_table(
+        [
+            "Corner",
+            f"median @{dataset.read_points[0]}h (mV)",
+            "sigma (mV)",
+            f"median @{dataset.read_points[-1]}h (mV)",
+            "sigma (mV)",
+        ],
+        vmin_rows,
+        title=(
+            f"Population summary | {dataset.n_chips} chips, "
+            f"{int(dataset.defect_mask().sum())} latent-defective"
+        ),
+    )
+    return table + "\n\n" + population
+
+
+def test_table2_feature_inventory(benchmark, dataset):
+    # Time a full-lot regeneration (the substrate cost downstream users pay),
+    # then render the inventory from the session lot.
+    benchmark.pedantic(
+        lambda: SiliconDataset.generate(seed=1), rounds=1, iterations=1
+    )
+    publish("table2_features", _render(dataset))

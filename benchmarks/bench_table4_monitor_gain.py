@@ -1,0 +1,60 @@
+"""Table IV -- average interval length per feature set and on-chip gain.
+
+Regenerates the paper's Table IV: the Fig.-3 CQR-CatBoost interval
+lengths averaged over all stress read points, per temperature, for the
+three feature configurations, plus the "on-chip monitor gain" row:
+
+.. math::
+
+    \\mathrm{gain} = 1 - \\frac{\\text{len(on-chip + parametric)}}
+                             {\\text{len(parametric only)}}.
+
+The paper reports ~21 % average gain; the expected *shape* here is a
+clearly positive gain at every temperature, with on-chip-only also
+beating parametric-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import FEATURE_SETS, publish
+
+from repro.eval.reporting import format_table
+
+
+def _render(fig3_grid, bench_scope) -> str:
+    temperatures, read_points = bench_scope
+    averages = {}
+    for label, _ in FEATURE_SETS:
+        per_temp = [
+            float(
+                np.mean([fig3_grid[(label, t, h)] for h in read_points])
+            )
+            for t in temperatures
+        ]
+        averages[label] = per_temp + [float(np.mean(per_temp))]
+
+    headers = ["Feature type"] + [f"{t:g}C" for t in temperatures] + ["Average"]
+    rows = [[label] + values for label, values in averages.items()]
+    gain = [
+        100.0 * (1.0 - combined / parametric)
+        for combined, parametric in zip(
+            averages["On-chip and Parametric"], averages["Parametric"]
+        )
+    ]
+    rows.append(["On-chip monitor gain (%)"] + gain)
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Table IV | CQR CatBoost avg interval length (mV) across read "
+            f"points {list(read_points)}"
+        ),
+    )
+
+
+def test_table4_monitor_gain(benchmark, fig3_grid, bench_scope):
+    text = benchmark.pedantic(
+        _render, args=(fig3_grid, bench_scope), rounds=1, iterations=1
+    )
+    publish("table4_monitor_gain", text)

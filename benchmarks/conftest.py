@@ -1,0 +1,109 @@
+"""Shared fixtures and scope control for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it in the paper's row/series layout (also written to
+``benchmarks/results/``).  The computation budget is selected with the
+``REPRO_BENCH`` environment variable:
+
+=========  =================================================================
+profile    meaning
+=========  =================================================================
+``smoke``  CI-sized: one corner, read point 0, 2 folds, tiny models.
+``fast``   default: all three temperatures, read points {0, 1008}, 4
+           folds, reduced model budgets -- the full qualitative shape of
+           every table/figure in minutes.
+``full``   the paper's protocol: all 6 read points, paper-exact model
+           configurations.  Expect a multi-hour run on a laptop.
+=========  =================================================================
+
+Absolute mV numbers differ from the paper (its silicon is proprietary;
+ours is synthetic -- see DESIGN.md), but the comparative shape of every
+artefact is asserted in ``tests/test_experiments.py`` and documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+from repro.eval.experiments import ExperimentProfile, FeatureSet, run_region_experiment
+from repro.silicon import READ_POINTS_HOURS, TEMPERATURES_C, SiliconDataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_SEED = 2024
+
+
+def bench_profile_name() -> str:
+    name = os.environ.get("REPRO_BENCH", "fast").lower()
+    if name not in ("smoke", "fast", "full"):
+        raise ValueError(
+            f"REPRO_BENCH must be smoke, fast, or full; got {name!r}"
+        )
+    return name
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentProfile:
+    return ExperimentProfile.from_name(bench_profile_name())
+
+
+@pytest.fixture(scope="session")
+def bench_scope() -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
+    """(temperatures, read points) swept by the current profile."""
+    name = bench_profile_name()
+    if name == "smoke":
+        return (25.0,), (0,)
+    if name == "fast":
+        return TEMPERATURES_C, (0, 1008)
+    return TEMPERATURES_C, READ_POINTS_HOURS
+
+
+@pytest.fixture(scope="session")
+def dataset() -> SiliconDataset:
+    """The synthetic lot every benchmark runs on (fixed seed)."""
+    return SiliconDataset.generate(seed=BENCH_SEED)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered artefact and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name} [profile={bench_profile_name()}]\n{'=' * 72}"
+    print(banner)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.{bench_profile_name()}.txt"
+    path.write_text(text + "\n")
+
+
+FEATURE_SETS = (
+    ("On-chip and Parametric", FeatureSet.BOTH),
+    ("Parametric", FeatureSet.PARAMETRIC),
+    ("On-chip", FeatureSet.ONCHIP),
+)
+
+
+@pytest.fixture(scope="session")
+def fig3_grid(dataset, profile, bench_scope):
+    """CQR-CatBoost width (mV) per (feature-set label, temperature, hours).
+
+    Shared between the Fig. 3 and Table IV benchmarks so the expensive
+    grid is computed once per session.
+    """
+    temperatures, read_points = bench_scope
+    grid = {}
+    for label, feature_set in FEATURE_SETS:
+        for temperature in temperatures:
+            for hours in read_points:
+                result = run_region_experiment(
+                    dataset,
+                    "CQR CatBoost",
+                    temperature,
+                    hours,
+                    feature_set=feature_set,
+                    profile=profile,
+                )
+                grid[(label, temperature, hours)] = result.width
+    return grid

@@ -1,0 +1,90 @@
+"""Power-saving Vmin binning with conformal guard bands (paper ref. [4]).
+
+Automotive parts traditionally all run at the worst-case supply voltage.
+Vmin binning runs each part at the lowest *safe* bin voltage instead --
+but "safe" needs a statistical guarantee when the bin is chosen from a
+prediction.  A calibrated interval gives one for free: assigning the
+lowest bin above the interval's upper bound bounds the per-chip
+under-volting probability by the interval's miscoverage alpha.
+
+The demo:
+
+1. predicts calibrated 90 % Vmin intervals at 25 degC / time 0,
+2. bins the test chips over a 4-bin supply menu,
+3. audits escapes and the dynamic-power overhead versus the oracle that
+   knows every chip's true Vmin,
+4. sweeps the guard band against an explicit escape/power cost model to
+   pick the production setting.
+
+Run:
+    python examples/vmin_binning.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import SiliconDataset, VminPredictionFlow
+from repro.flow import VminBinningPolicy, optimize_guard_band
+from repro.models import ObliviousBoostingRegressor
+
+BIN_VOLTAGES = (0.58, 0.61, 0.65, 0.72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    dataset = SiliconDataset.generate(seed=args.seed)
+    X, names = dataset.features(hours=0)
+    y = dataset.target(25.0, hours=0)
+    n_train = 110
+
+    base = ObliviousBoostingRegressor(
+        n_estimators=20 if args.smoke else 100, quantile=0.5, random_state=args.seed
+    )
+    flow = VminPredictionFlow(base_model=base, alpha=0.1, random_state=args.seed)
+    flow.fit(X[:n_train], y[:n_train], feature_names=names)
+    intervals = flow.predict_interval(X[n_train:])
+    y_test = y[n_train:]
+
+    print(f"supply menu: {[f'{v*1e3:.0f} mV' for v in BIN_VOLTAGES]}")
+    print(f"test chips : {len(y_test)}\n")
+
+    print("guard band |  escapes | unbinnable | mean supply | power overhead vs oracle")
+    print("-----------+----------+------------+-------------+-------------------------")
+    for guard_band in (0.0, 0.005, 0.010, 0.020):
+        policy = VminBinningPolicy(BIN_VOLTAGES, guard_band_v=guard_band)
+        outcome = policy.evaluate(intervals, y_test)
+        print(
+            f"{guard_band*1e3:7.0f} mV | {outcome.escape_rate:8.1%} "
+            f"| {outcome.unbinnable_fraction:10.1%} "
+            f"| {outcome.mean_voltage*1e3:8.1f} mV "
+            f"| {outcome.power_overhead:+.2%}"
+        )
+
+    best_guard, best_cost = optimize_guard_band(
+        intervals, y_test, BIN_VOLTAGES, escape_cost=100.0, power_cost=1.0
+    )
+    print(
+        f"\ncost-optimal guard band (escape cost 100x power cost): "
+        f"{best_guard*1e3:.1f} mV (cost {best_cost:.3f})"
+    )
+
+    # How much power does binning recover vs worst-case single voltage?
+    policy = VminBinningPolicy(BIN_VOLTAGES, guard_band_v=best_guard)
+    outcome = policy.evaluate(intervals, y_test)
+    worst_case = max(BIN_VOLTAGES)
+    saving = 1.0 - outcome.mean_voltage**2 / worst_case**2
+    print(
+        f"dynamic power saved vs running everything at "
+        f"{worst_case*1e3:.0f} mV: {saving:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

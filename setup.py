@@ -1,0 +1,17 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (legacy develop mode) on offline
+machines where PEP 660 editable builds fail for lack of ``wheel``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

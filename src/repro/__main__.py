@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the non-programmatic workflows:
+
+* ``generate`` -- create a synthetic lot and save its measurements to a
+  ``.npz`` (optionally also the burn-in flow log as CSV),
+* ``predict`` -- fit the recommended CQR pipeline on a saved (or fresh)
+  lot and print calibrated intervals for held-out chips,
+* ``info`` -- describe a saved lot (shapes, read points, corners).
+
+The CLI exists so a test-floor engineer can produce and inspect data
+without writing Python; everything it does is a thin shim over the
+public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import SiliconDataset, VminPredictionFlow
+from repro.models import ObliviousBoostingRegressor
+from repro.silicon.io import export_flow_csv, load_measurements, save_measurements
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = SiliconDataset.generate(n_chips=args.chips, seed=args.seed)
+    path = save_measurements(dataset, args.output)
+    print(dataset.summary())
+    print(f"measurements written to {path}")
+    if args.flow_csv:
+        rows = export_flow_csv(dataset, args.flow_csv)
+        print(f"flow log ({rows} records) written to {args.flow_csv}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_measurements(args.dataset)
+    print(f"chips        : {dataset.n_chips}")
+    print(f"parametric   : {dataset.parametric.shape[1]} channels")
+    print(f"ROD monitors : {len(dataset.rod_names)}")
+    print(f"CPD monitors : {len(dataset.cpd_names)}")
+    print(f"read points  : {list(dataset.read_points)} h")
+    print(f"temperatures : {[f'{t:g}C' for t in dataset.temperatures]}")
+    for hours in dataset.read_points:
+        for temperature in dataset.temperatures:
+            vmin = dataset.vmin[(temperature, hours)]
+            print(
+                f"  Vmin @ {temperature:>6g}C, {hours:>5d}h: "
+                f"median {np.median(vmin)*1e3:6.1f} mV, "
+                f"max {vmin.max()*1e3:6.1f} mV"
+            )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    if args.dataset:
+        dataset = load_measurements(args.dataset)
+    else:
+        dataset = SiliconDataset.generate(seed=args.seed)
+    if args.hours not in dataset.read_points:
+        print(
+            f"error: read point {args.hours} h not in {list(dataset.read_points)}",
+            file=sys.stderr,
+        )
+        return 2
+    X, names = dataset.features(args.hours)
+    try:
+        y = dataset.target(args.temperature, args.hours)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    n_train = int(round(dataset.n_chips * (1.0 - args.holdout)))
+    if not 2 <= n_train < dataset.n_chips:
+        print("error: holdout leaves no usable train/test split", file=sys.stderr)
+        return 2
+
+    base = ObliviousBoostingRegressor(
+        n_estimators=args.trees, quantile=0.5, random_state=args.seed
+    )
+    flow = VminPredictionFlow(base_model=base, alpha=args.alpha, random_state=args.seed)
+    flow.fit(X[:n_train], y[:n_train], feature_names=names)
+    try:
+        intervals = flow.predict_interval(X[n_train:])
+    except RuntimeError as error:
+        # Typically: too few calibration chips for the requested alpha.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"CQR intervals @ {args.temperature:g}C, {args.hours}h "
+        f"(alpha={args.alpha:g}, guarantee >= {flow.guaranteed_coverage_:.1%})"
+    )
+    print(
+        f"held-out coverage {intervals.coverage(y[n_train:]):.1%}, "
+        f"mean width {intervals.mean_width*1e3:.1f} mV"
+    )
+    for i in range(len(intervals)):
+        print(
+            f"chip {n_train + i:4d}: "
+            f"[{intervals.lower[i]*1e3:7.1f}, {intervals.upper[i]*1e3:7.1f}] mV"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Vmin interval prediction toolkit (DATE 2024 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic lot and save its measurements"
+    )
+    generate.add_argument("output", help="output .npz path")
+    generate.add_argument("--chips", type=int, default=156)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--flow-csv", default=None, help="also export the burn-in flow log CSV"
+    )
+    generate.set_defaults(handler=_cmd_generate)
+
+    info = commands.add_parser("info", help="describe a saved lot")
+    info.add_argument("dataset", help=".npz from 'generate'")
+    info.set_defaults(handler=_cmd_info)
+
+    predict = commands.add_parser(
+        "predict", help="fit the CQR pipeline and print intervals"
+    )
+    predict.add_argument(
+        "--dataset", default=None, help=".npz lot (default: generate fresh)"
+    )
+    predict.add_argument("--temperature", type=float, default=25.0)
+    predict.add_argument("--hours", type=int, default=0)
+    predict.add_argument("--alpha", type=float, default=0.1)
+    predict.add_argument("--holdout", type=float, default=0.25)
+    predict.add_argument("--trees", type=int, default=100)
+    predict.add_argument("--seed", type=int, default=0)
+    predict.set_defaults(handler=_cmd_predict)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

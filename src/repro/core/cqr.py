@@ -1,0 +1,146 @@
+"""Conformalized Quantile Regression (paper Section III-C).
+
+CQR combines the adaptivity of quantile regression with the coverage
+guarantee of conformal prediction:
+
+1. split the data into proper-training and calibration parts,
+2. fit a quantile band (Eq. 2) at quantiles ``α/2`` and ``1 − α/2`` on
+   the proper-training part,
+3. compute the conformal quantile ``q̂`` of the CQR scores (Eq. 9) on the
+   calibration part,
+4. report ``[lower(x) − q̂, upper(x) + q̂]`` (Eq. 10).
+
+``q̂`` can be negative (the raw band was conservative and gets *shrunk*)
+or positive (the raw band under-covered and gets widened) -- the paper's
+Table III shows exactly this correction turning 10-85 % QR coverage into
+~90 % CQR coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.calibration import conformal_quantile
+from repro.core.intervals import PredictionIntervals
+from repro.core.scores import cqr_score
+from repro.core.split_cp import split_train_calibration
+from repro.models.base import (
+    BaseRegressor,
+    check_fitted,
+    check_random_state,
+    check_X_y,
+)
+from repro.models.quantile import QuantileBandRegressor
+
+__all__ = ["ConformalizedQuantileRegressor"]
+
+
+class ConformalizedQuantileRegressor(BaseRegressor):
+    """Split CQR around any quantile-capable template model.
+
+    Parameters
+    ----------
+    estimator:
+        Unfitted template with a ``quantile`` constructor parameter (e.g.
+        :class:`~repro.models.linear.QuantileLinearRegression`,
+        :class:`~repro.models.nn.MLPRegressor`,
+        :class:`~repro.models.gbm.GradientBoostingRegressor`, or
+        :class:`~repro.models.oblivious.ObliviousBoostingRegressor`).
+        Two clones are trained at quantiles ``alpha/2`` and ``1 − alpha/2``.
+    alpha:
+        Target miscoverage (paper: 0.1).
+    calibration_fraction:
+        Held-out fraction for calibration (paper: 0.25).
+    symmetric:
+        ``True`` (paper) calibrates one shared margin from the two-sided
+        score of Eq. (9).  ``False`` calibrates the lower and upper
+        violations separately at level ``alpha/2`` each -- the asymmetric
+        CQR variant of Romano et al., exercised by the ablations.
+    band_template:
+        Optional unfitted band object (``fit``/``predict_interval``,
+        cloneable) used instead of building a
+        :class:`~repro.models.quantile.QuantileBandRegressor` from
+        ``estimator``; e.g. the package-default CatBoost band of
+        :class:`~repro.models.quantile.PackageDefaultQuantileBand`.  When
+        given, ``estimator`` may be ``None``.
+    random_state:
+        Seed for the train/calibration split.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[BaseRegressor],
+        alpha: float = 0.1,
+        calibration_fraction: float = 0.25,
+        symmetric: bool = True,
+        band_template=None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if estimator is None and band_template is None:
+            raise ValueError("provide an estimator or a band_template")
+        self.estimator = estimator
+        self.alpha = alpha
+        self.calibration_fraction = calibration_fraction
+        self.symmetric = symmetric
+        self.band_template = band_template
+        self.random_state = random_state
+        self.band_ = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ConformalizedQuantileRegressor":
+        from repro.models.base import clone
+
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        train_idx, cal_idx = split_train_calibration(
+            X.shape[0], self.calibration_fraction, rng
+        )
+        if self.band_template is not None:
+            band = clone(self.band_template)
+        else:
+            band = QuantileBandRegressor(self.estimator, alpha=self.alpha)
+        band.fit(X[train_idx], y[train_idx])
+        self.band_ = band
+
+        cal_lower, cal_upper = band.predict_interval(X[cal_idx])
+        y_cal = y[cal_idx]
+        if self.symmetric:
+            scores = cqr_score(y_cal, cal_lower, cal_upper)
+            self.quantile_low_ = conformal_quantile(scores, self.alpha)
+            self.quantile_high_ = self.quantile_low_
+        else:
+            # Separate one-sided corrections, each at alpha/2, which also
+            # yields >= 1 - alpha marginal coverage by a union bound.
+            self.quantile_low_ = conformal_quantile(cal_lower - y_cal, self.alpha / 2)
+            self.quantile_high_ = conformal_quantile(y_cal - cal_upper, self.alpha / 2)
+        self.n_calibration_ = int(cal_idx.size)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Midpoint of the calibrated interval (diagnostic point estimate)."""
+        intervals = self.predict_interval(X)
+        return intervals.midpoint
+
+    def predict_interval(self, X: np.ndarray) -> PredictionIntervals:
+        """Calibrated band ``[lower − q̂_lo, upper + q̂_hi]`` (Eq. 10)."""
+        check_fitted(self, "band_")
+        if not (np.isfinite(self.quantile_low_) and np.isfinite(self.quantile_high_)):
+            raise RuntimeError(
+                f"calibration set of size {self.n_calibration_} is too small "
+                f"for alpha={self.alpha}; intervals would be infinite"
+            )
+        lower, upper = self.band_.predict_interval(X)
+        lower = lower - self.quantile_low_
+        upper = upper + self.quantile_high_
+        # A strongly negative correction can push the bounds past each
+        # other; the empty interval is conventionally collapsed to its
+        # midpoint (it still counts as covering nothing).
+        crossed = lower > upper
+        if np.any(crossed):
+            mid = (lower + upper) / 2.0
+            lower = np.where(crossed, mid, lower)
+            upper = np.where(crossed, mid, upper)
+        return PredictionIntervals(lower, upper)

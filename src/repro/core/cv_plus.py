@@ -1,0 +1,154 @@
+"""CV+ and Jackknife+ conformal intervals (extension beyond the paper).
+
+Split CP/CQR sacrifice 25 % of an already tiny 156-chip dataset to
+calibration.  CV+ (Barber et al., 2021) avoids that: every sample is
+scored by the fold model that did *not* train on it, and test intervals
+aggregate over fold models.  The guarantee is slightly weaker
+(``1 − 2α`` worst case, ``≈ 1 − α`` in practice) but no data is wasted --
+the trade-off quantified by the ``abl-cvplus`` benchmark.
+
+We implement the practical quantile-form of CV+: for each test point the
+interval is
+
+.. math::
+
+    \\Big[\\,\\tilde Q_{\\alpha}\\big(\\hat\\mu_{-k(i)}(x) - R_i\\big),\\
+          \\tilde Q_{1-\\alpha}\\big(\\hat\\mu_{-k(i)}(x) + R_i\\big)\\Big]
+
+over calibration residuals :math:`R_i` paired with their out-of-fold
+model's prediction at ``x``, using finite-sample-corrected empirical
+quantiles.  Jackknife+ is the ``K = n`` special case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.intervals import PredictionIntervals
+from repro.models.base import (
+    BaseRegressor,
+    check_fitted,
+    check_random_state,
+    check_X_y,
+    clone,
+)
+
+__all__ = ["CVPlusRegressor", "JackknifePlusRegressor"]
+
+
+def _upper_cv_quantile(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Row-wise ceil((n+1)(1−alpha))-th smallest value of a 2-D array."""
+    n = values.shape[1]
+    rank = min(math.ceil((n + 1) * (1.0 - alpha)), n)
+    return np.partition(values, rank - 1, axis=1)[:, rank - 1]
+
+
+class CVPlusRegressor(BaseRegressor):
+    """K-fold CV+ conformal intervals around a point regressor.
+
+    Parameters
+    ----------
+    estimator:
+        Unfitted point regressor template; ``n_folds`` clones are fitted.
+    alpha:
+        Target miscoverage.
+    n_folds:
+        Number of cross-validation folds (2 ≤ K ≤ n).
+    random_state:
+        Seed for the fold assignment.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseRegressor,
+        alpha: float = 0.1,
+        n_folds: int = 5,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if n_folds < 2:
+            raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+        self.estimator = estimator
+        self.alpha = alpha
+        self.n_folds = n_folds
+        self.random_state = random_state
+        self.fold_models_: Optional[List[BaseRegressor]] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CVPlusRegressor":
+        X, y = check_X_y(X, y)
+        n = X.shape[0]
+        if self.n_folds > n:
+            raise ValueError(f"n_folds={self.n_folds} exceeds n_samples={n}")
+        rng = check_random_state(self.random_state)
+        assignment = rng.permutation(n) % self.n_folds
+
+        fold_models: List[BaseRegressor] = []
+        residuals = np.empty(n)
+        fold_of_sample = np.empty(n, dtype=np.int64)
+        for k in range(self.n_folds):
+            held_out = assignment == k
+            model = clone(self.estimator).fit(X[~held_out], y[~held_out])
+            fold_models.append(model)
+            residuals[held_out] = np.abs(
+                y[held_out] - model.predict(X[held_out])
+            )
+            fold_of_sample[held_out] = k
+
+        self.fold_models_ = fold_models
+        self.residuals_ = residuals
+        self.fold_of_sample_ = fold_of_sample
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean prediction over the fold models."""
+        check_fitted(self, "fold_models_")
+        stacked = np.stack([model.predict(X) for model in self.fold_models_])
+        return stacked.mean(axis=0)
+
+    def predict_interval(self, X: np.ndarray) -> PredictionIntervals:
+        """CV+ interval from out-of-fold residual/prediction pairs."""
+        check_fitted(self, "fold_models_")
+        predictions = np.stack(
+            [model.predict(X) for model in self.fold_models_]
+        )  # (K, n_test)
+        # Pair residual i with its out-of-fold model's test prediction.
+        per_sample_pred = predictions[self.fold_of_sample_]  # (n_cal, n_test)
+        lower_candidates = (per_sample_pred - self.residuals_[:, None]).T
+        upper_candidates = (per_sample_pred + self.residuals_[:, None]).T
+        lower = -_upper_cv_quantile(-lower_candidates, self.alpha)
+        upper = _upper_cv_quantile(upper_candidates, self.alpha)
+        # Degenerate tiny-n corner: ranks can cross; collapse to midpoint.
+        crossed = lower > upper
+        if np.any(crossed):
+            mid = (lower + upper) / 2.0
+            lower = np.where(crossed, mid, lower)
+            upper = np.where(crossed, mid, upper)
+        return PredictionIntervals(lower, upper)
+
+
+class JackknifePlusRegressor(CVPlusRegressor):
+    """Leave-one-out CV+ (Jackknife+): ``K = n`` fold models.
+
+    The strongest data reuse -- every model trains on ``n − 1`` chips --
+    at the price of ``n`` model fits.  Only sensible for cheap estimators
+    (linear regression) on the paper's data sizes.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseRegressor,
+        alpha: float = 0.1,
+        random_state: Optional[int] = None,
+    ) -> None:
+        # n_folds is fixed at fit time to the sample count; initialise the
+        # parent with the minimum legal value as a placeholder.
+        super().__init__(estimator, alpha=alpha, n_folds=2, random_state=random_state)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "JackknifePlusRegressor":
+        X, y = check_X_y(X, y)
+        self.n_folds = X.shape[0]
+        return super().fit(X, y)

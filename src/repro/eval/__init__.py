@@ -1,0 +1,63 @@
+"""Evaluation: metrics, cross-validation, and the experiment registry.
+
+Implements the paper's protocol (Section IV-B): 4-fold cross-validation
+with a shared seed across all methods, :math:`R^2`/RMSE for point
+prediction, and average interval length / empirical coverage for region
+prediction.  :mod:`repro.eval.experiments` encodes each table and figure
+of the paper as a declarative experiment the benchmark harness runs.
+"""
+
+from repro.eval.diagnostics import (
+    CoverageReport,
+    calibration_curve,
+    coverage_by_group,
+    width_quantiles,
+)
+from repro.eval.crossval import (
+    IntervalCVResult,
+    KFold,
+    PointCVResult,
+    cross_validate_intervals,
+    cross_validate_point,
+)
+from repro.eval.metrics import (
+    coverage_width_criterion,
+    empirical_coverage,
+    mean_interval_width,
+    pinball_score,
+    r2_score,
+    rmse,
+)
+from repro.eval.experiments import (
+    POINT_MODEL_NAMES,
+    REGION_METHOD_NAMES,
+    FeatureSet,
+    run_point_experiment,
+    run_region_experiment,
+)
+from repro.eval.reporting import format_series, format_table
+
+__all__ = [
+    "CoverageReport",
+    "FeatureSet",
+    "IntervalCVResult",
+    "KFold",
+    "POINT_MODEL_NAMES",
+    "PointCVResult",
+    "REGION_METHOD_NAMES",
+    "coverage_width_criterion",
+    "cross_validate_intervals",
+    "cross_validate_point",
+    "empirical_coverage",
+    "calibration_curve",
+    "coverage_by_group",
+    "format_series",
+    "format_table",
+    "width_quantiles",
+    "mean_interval_width",
+    "pinball_score",
+    "r2_score",
+    "rmse",
+    "run_point_experiment",
+    "run_region_experiment",
+]

@@ -1,0 +1,76 @@
+"""Plain-text renderers for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.  No plotting backend is
+required -- "figures" are rendered as aligned numeric series, which is
+what a regression harness can diff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a monospace table with one header row.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(rendered):
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render figure-style data: one x column plus one column per series.
+
+    This is how the harness regenerates "figures" (Fig. 2, Fig. 3) as
+    diffable text: same x axis, same named series as the paper's plot.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, float_format=float_format)

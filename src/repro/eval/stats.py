@@ -1,0 +1,147 @@
+"""Statistical comparison of predictors across CV folds.
+
+The paper's Section IV-D claim -- "no golden model outperforms others for
+all scenarios, [but] linear regression is competitive overall" -- is a
+statement about *differences between models on shared folds*.  With only
+4 folds, eyeballing mean R² is not enough; this module provides the
+small-sample machinery to say it properly:
+
+* :func:`paired_fold_difference` -- mean difference with a fold-paired
+  bootstrap confidence interval,
+* :func:`paired_permutation_test` -- exact sign-flip permutation p-value
+  for the paired difference (the right test at n = 4..6 folds, where
+  t-test normality is indefensible),
+* :func:`rank_models` -- average rank of each model across scenarios,
+  the standard multi-dataset comparison summary (Demšar, 2006).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PairedComparison",
+    "paired_fold_difference",
+    "paired_permutation_test",
+    "rank_models",
+]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of comparing two models on shared folds.
+
+    Attributes
+    ----------
+    mean_difference:
+        Mean of ``scores_a − scores_b`` (positive = A better, for
+        higher-is-better scores).
+    ci_low, ci_high:
+        Bootstrap confidence interval of the mean difference.
+    p_value:
+        Two-sided sign-flip permutation p-value for H0: no difference.
+    """
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 verdict."""
+        return self.p_value < 0.05
+
+
+def _validate_pairs(scores_a, scores_b) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.ndim != 1 or a.shape != b.shape:
+        raise ValueError(
+            f"paired scores must be 1-D with equal length, got {a.shape}, {b.shape}"
+        )
+    if a.size < 2:
+        raise ValueError("need at least 2 paired folds")
+    return a, b
+
+
+def paired_permutation_test(
+    scores_a: Sequence[float], scores_b: Sequence[float]
+) -> float:
+    """Exact two-sided sign-flip permutation p-value.
+
+    Under H0 the per-fold differences are symmetric around zero, so each
+    difference's sign is exchangeable: enumerate all :math:`2^n` sign
+    assignments (n ≤ 20 enumerated exactly; beyond that, 20 000 random
+    flips) and report the fraction with |mean| at least as extreme.
+    """
+    a, b = _validate_pairs(scores_a, scores_b)
+    differences = a - b
+    n = differences.size
+    observed = abs(differences.mean())
+    if n <= 20:
+        signs = np.array(list(itertools.product((1.0, -1.0), repeat=n)))
+    else:
+        signs = np.random.default_rng(0).choice((1.0, -1.0), size=(20_000, n))
+    permuted = np.abs((signs * differences[None, :]).mean(axis=1))
+    # >= with a tolerance so the observed assignment counts itself.
+    return float(np.mean(permuted >= observed - 1e-15))
+
+
+def paired_fold_difference(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    n_bootstrap: int = 10_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> PairedComparison:
+    """Mean paired difference with bootstrap CI and permutation p-value."""
+    a, b = _validate_pairs(scores_a, scores_b)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    differences = a - b
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, differences.size, size=(n_bootstrap, differences.size))
+    bootstrap_means = differences[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        ci_low=float(np.quantile(bootstrap_means, tail)),
+        ci_high=float(np.quantile(bootstrap_means, 1.0 - tail)),
+        p_value=paired_permutation_test(a, b),
+    )
+
+
+def rank_models(
+    scores_by_model: Mapping[str, Sequence[float]],
+    higher_is_better: bool = True,
+) -> Dict[str, float]:
+    """Average rank of each model over shared scenarios (1 = best).
+
+    ``scores_by_model[name]`` holds one score per scenario (all models
+    must cover the same scenarios).  Ties share the average rank.  The
+    resulting ranking is the standard way to compress a "models x
+    scenarios" grid like Fig. 2 into one line.
+    """
+    names = list(scores_by_model)
+    if not names:
+        raise ValueError("scores_by_model must be non-empty")
+    lengths = {len(scores_by_model[name]) for name in names}
+    if len(lengths) != 1:
+        raise ValueError(f"models cover different scenario counts: {lengths}")
+    matrix = np.asarray([scores_by_model[name] for name in names], dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("each model needs a 1-D sequence of scenario scores")
+    if not higher_is_better:
+        matrix = -matrix
+    # Rank per scenario (column), 1 = best, average ties.
+    from scipy.stats import rankdata
+
+    ranks = np.vstack(
+        [rankdata(-matrix[:, j], method="average") for j in range(matrix.shape[1])]
+    ).T
+    return {name: float(ranks[i].mean()) for i, name in enumerate(names)}

@@ -1,0 +1,45 @@
+"""Feature selection and preprocessing (paper Section IV-C).
+
+The paper's dataset has ~2000 input columns for only 156 chips, so the
+non-tree models (linear regression, Gaussian process, neural network) are
+given a small informative subset chosen by Correlation Feature Selection
+(CFS, Hall 1999) with the Pearson correlation, sweeping 1 to 10 selected
+features.  Tree-boosting models receive all raw columns and rely on their
+intrinsic split-based selection.
+
+Modules
+-------
+* :mod:`repro.features.correlation` -- Pearson/Spearman utilities,
+* :mod:`repro.features.cfs` -- the CFS merit and greedy forward search,
+* :mod:`repro.features.selection` -- top-k and best-k-sweep wrappers,
+* :mod:`repro.features.preprocessing` -- scaling / constant-column
+  handling / pipeline composition.
+"""
+
+from repro.features.cfs import CFSSelector, cfs_merit
+from repro.features.correlation import (
+    feature_feature_correlation,
+    feature_target_correlation,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.features.preprocessing import (
+    ConstantFeatureDropper,
+    Pipeline,
+    StandardScaler,
+)
+from repro.features.selection import BestKSweepSelector, SelectKBest
+
+__all__ = [
+    "BestKSweepSelector",
+    "CFSSelector",
+    "ConstantFeatureDropper",
+    "Pipeline",
+    "SelectKBest",
+    "StandardScaler",
+    "cfs_merit",
+    "feature_feature_correlation",
+    "feature_target_correlation",
+    "pearson_correlation",
+    "spearman_correlation",
+]

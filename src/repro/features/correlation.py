@@ -1,0 +1,102 @@
+"""Correlation utilities underlying CFS feature selection.
+
+All functions treat constant columns gracefully: a column with zero
+variance has undefined Pearson correlation, which we define as 0 (it
+carries no linear information about anything), matching the convention
+CFS needs to never select dead parametric channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "feature_feature_correlation",
+    "feature_target_correlation",
+    "pearson_correlation",
+    "spearman_correlation",
+]
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of two 1-D arrays; 0 when either is constant."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"inputs must be 1-D with equal length, got {a.shape}, {b.shape}")
+    if a.size < 2:
+        raise ValueError("correlation needs at least 2 samples")
+    std_a = a.std()
+    std_b = b.std()
+    if std_a == 0.0 or std_b == 0.0:
+        return 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (std_a * std_b))
+
+
+def spearman_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation; 0 when either input is constant."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"inputs must be 1-D with equal length, got {a.shape}, {b.shape}")
+    if a.std() == 0.0 or b.std() == 0.0:
+        return 0.0
+    rho = stats.spearmanr(a, b).statistic
+    return float(rho) if np.isfinite(rho) else 0.0
+
+
+def feature_target_correlation(
+    X: np.ndarray, y: np.ndarray, method: str = "pearson"
+) -> np.ndarray:
+    """Correlation of every feature column with the target, vectorised.
+
+    Returns an array of shape ``(n_features,)``.  Constant columns get 0.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X must be 2-D and y 1-D with matching length, got {X.shape}, {y.shape}"
+        )
+    if method == "spearman":
+        X = stats.rankdata(X, axis=0)
+        y = stats.rankdata(y)
+    elif method != "pearson":
+        raise ValueError(f"method must be 'pearson' or 'spearman', got {method!r}")
+    X_centered = X - X.mean(axis=0)
+    y_centered = y - y.mean()
+    x_std = X_centered.std(axis=0)
+    y_std = y_centered.std()
+    if y_std == 0.0:
+        return np.zeros(X.shape[1])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = (X_centered * y_centered[:, None]).mean(axis=0) / (x_std * y_std)
+    return np.where(x_std == 0.0, 0.0, corr)
+
+
+def feature_feature_correlation(
+    X: np.ndarray, columns: np.ndarray, method: str = "pearson"
+) -> np.ndarray:
+    """Pairwise correlation matrix among the given feature columns.
+
+    Only the requested ``columns`` are correlated (CFS never needs the full
+    1800x1800 matrix, just the growing selected subset), so the cost stays
+    linear in the sweep length.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    sub = X[:, np.asarray(columns, dtype=np.intp)]
+    if method == "spearman":
+        sub = stats.rankdata(sub, axis=0)
+    elif method != "pearson":
+        raise ValueError(f"method must be 'pearson' or 'spearman', got {method!r}")
+    centered = sub - sub.mean(axis=0)
+    std = centered.std(axis=0)
+    safe_std = np.where(std == 0.0, 1.0, std)
+    normalised = centered / safe_std
+    corr = normalised.T @ normalised / sub.shape[0]
+    dead = std == 0.0
+    corr[dead, :] = 0.0
+    corr[:, dead] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return corr

@@ -1,0 +1,195 @@
+"""Vmin binning with guard bands driven by prediction intervals.
+
+The paper's reference [4] (Lin et al., ITC 2022) motivates ML-assisted
+*Vmin binning*: instead of running every part at a single worst-case
+supply voltage, parts are sorted into voltage bins and each runs at the
+lowest voltage that is safe for it, saving dynamic power (:math:`P
+\\propto V^2 f`).  Binning from a *point* prediction risks under-volting
+(a functional escape) whenever the prediction errs low; binning from a
+calibrated **interval** bounds that risk by construction: assign the
+lowest bin whose voltage clears the interval's *upper* bound plus a
+guard band, and the per-chip escape probability is at most the interval
+miscoverage ``alpha``.
+
+:class:`VminBinningPolicy` implements the assignment and its audit
+(escape rate, power proxy versus the oracle binning that knows true
+Vmin); :func:`optimize_guard_band` sweeps the guard band against an
+explicit escape-versus-power cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.intervals import PredictionIntervals
+
+__all__ = ["BinningOutcome", "VminBinningPolicy", "optimize_guard_band"]
+
+UNBINNABLE = -1
+"""Assignment code for chips no bin can safely host (route to retest)."""
+
+
+@dataclass(frozen=True)
+class BinningOutcome:
+    """Audit of one binning pass against reference Vmin values.
+
+    Attributes
+    ----------
+    assignments:
+        Per-chip bin index (into the policy's ``bin_voltages``), or
+        :data:`UNBINNABLE`.
+    escape_rate:
+        Fraction of *binned* chips whose true Vmin exceeds their bin
+        voltage (under-volted parts -- the safety metric the conformal
+        guarantee bounds).
+    mean_voltage:
+        Average assigned supply over binned chips (V).
+    oracle_mean_voltage:
+        Average supply of the oracle assignment (knows true Vmin, no
+        guard band) -- the unbeatable lower bound.
+    power_overhead:
+        Relative dynamic-power overhead vs the oracle,
+        ``mean(V²)/mean(V_oracle²) − 1``.
+    unbinnable_fraction:
+        Fraction of chips routed to retest because no bin fits.
+    """
+
+    assignments: np.ndarray
+    escape_rate: float
+    mean_voltage: float
+    oracle_mean_voltage: float
+    power_overhead: float
+    unbinnable_fraction: float
+
+
+class VminBinningPolicy:
+    """Assign chips to supply-voltage bins from predicted intervals.
+
+    Parameters
+    ----------
+    bin_voltages:
+        Available supply settings (V), need not be sorted; duplicates are
+        rejected.
+    guard_band_v:
+        Extra safety margin: a chip fits a bin only if
+        ``upper + guard_band <= bin voltage``.
+    """
+
+    def __init__(
+        self, bin_voltages: Sequence[float], guard_band_v: float = 0.0
+    ) -> None:
+        voltages = np.asarray(sorted(bin_voltages), dtype=np.float64)
+        if voltages.size == 0:
+            raise ValueError("need at least one bin voltage")
+        if np.unique(voltages).size != voltages.size:
+            raise ValueError(f"duplicate bin voltages in {list(bin_voltages)}")
+        if guard_band_v < 0:
+            raise ValueError(f"guard_band_v must be >= 0, got {guard_band_v}")
+        self.bin_voltages = voltages
+        self.guard_band_v = guard_band_v
+
+    def assign(self, intervals: PredictionIntervals) -> np.ndarray:
+        """Lowest safe bin per chip, or :data:`UNBINNABLE`."""
+        requirement = intervals.upper + self.guard_band_v
+        # searchsorted('left') gives the first bin >= requirement.
+        indices = np.searchsorted(self.bin_voltages, requirement, side="left")
+        assignments = np.where(
+            indices < self.bin_voltages.size, indices, UNBINNABLE
+        ).astype(np.int64)
+        return assignments
+
+    def assign_oracle(self, true_vmin: np.ndarray) -> np.ndarray:
+        """Oracle assignment from true Vmin with zero guard band."""
+        true_vmin = np.asarray(true_vmin, dtype=np.float64)
+        indices = np.searchsorted(self.bin_voltages, true_vmin, side="left")
+        return np.where(
+            indices < self.bin_voltages.size, indices, UNBINNABLE
+        ).astype(np.int64)
+
+    def evaluate(
+        self, intervals: PredictionIntervals, true_vmin: np.ndarray
+    ) -> BinningOutcome:
+        """Audit the interval-driven binning against reference Vmin."""
+        true_vmin = np.asarray(true_vmin, dtype=np.float64)
+        if true_vmin.shape != intervals.lower.shape:
+            raise ValueError(
+                f"true_vmin has shape {true_vmin.shape}, intervals have "
+                f"shape {intervals.lower.shape}"
+            )
+        assignments = self.assign(intervals)
+        binned = assignments != UNBINNABLE
+        oracle = self.assign_oracle(true_vmin)
+        oracle_binned = oracle != UNBINNABLE
+
+        if binned.any():
+            assigned_v = self.bin_voltages[assignments[binned]]
+            escapes = true_vmin[binned] > assigned_v
+            escape_rate = float(escapes.mean())
+            mean_voltage = float(assigned_v.mean())
+        else:
+            escape_rate = 0.0
+            mean_voltage = float("nan")
+        if oracle_binned.any():
+            oracle_v = self.bin_voltages[oracle[oracle_binned]]
+            oracle_mean = float(oracle_v.mean())
+        else:
+            oracle_mean = float("nan")
+
+        if binned.any() and oracle_binned.any():
+            overhead = float(
+                np.mean(self.bin_voltages[assignments[binned]] ** 2)
+                / np.mean(oracle_v**2)
+                - 1.0
+            )
+        else:
+            overhead = float("nan")
+        return BinningOutcome(
+            assignments=assignments,
+            escape_rate=escape_rate,
+            mean_voltage=mean_voltage,
+            oracle_mean_voltage=oracle_mean,
+            power_overhead=overhead,
+            unbinnable_fraction=float(np.mean(~binned)),
+        )
+
+
+def optimize_guard_band(
+    intervals: PredictionIntervals,
+    true_vmin: np.ndarray,
+    bin_voltages: Sequence[float],
+    escape_cost: float = 100.0,
+    power_cost: float = 1.0,
+    candidates: Optional[Sequence[float]] = None,
+) -> Tuple[float, float]:
+    """Pick the guard band minimising an explicit escape/power trade-off.
+
+    Cost per chip = ``escape_cost`` x escape indicator + ``power_cost`` x
+    normalised power overhead (+ ``escape_cost`` for unbinnable chips,
+    which must be retested -- treated as expensive but safe at half the
+    escape cost).  Returns ``(best_guard_band, best_cost)``.
+
+    The sweep is an audit-time tool: in production the guard band would be
+    chosen on a calibration lot, exactly like this, then frozen.
+    """
+    if escape_cost < 0 or power_cost < 0:
+        raise ValueError("costs must be non-negative")
+    if candidates is None:
+        candidates = np.linspace(0.0, 0.03, 13)
+    policy_costs = []
+    for guard_band in candidates:
+        policy = VminBinningPolicy(bin_voltages, guard_band_v=float(guard_band))
+        outcome = policy.evaluate(intervals, true_vmin)
+        overhead = outcome.power_overhead
+        if not np.isfinite(overhead):
+            overhead = 1.0
+        cost = (
+            escape_cost * outcome.escape_rate
+            + power_cost * max(overhead, 0.0)
+            + 0.5 * escape_cost * outcome.unbinnable_fraction
+        )
+        policy_costs.append(cost)
+    best = int(np.argmin(policy_costs))
+    return float(candidates[best]), float(policy_costs[best])

@@ -1,0 +1,137 @@
+"""Feature-availability scenarios of the paper's Fig. 1.
+
+A prediction *scenario* fixes what the predictor is allowed to see:
+
+* **production** (read point 0): parametric tests and on-chip monitors,
+  both freshly measured on the ATE;
+* **in-field** (read point > 0): parametric data frozen at time 0 (no
+  retest after shipping) plus on-chip monitor readings from every read
+  point up to the prediction time.
+
+:func:`build_scenario` materialises the matrix/label pair for a dataset,
+corner, and read point, with the Fig.-3 feature-set restriction
+(parametric-only / on-chip-only / both) applied on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.eval.experiments import FeatureSet
+from repro.silicon.constants import validate_read_point, validate_temperature
+from repro.silicon.dataset import SiliconDataset
+
+__all__ = ["PredictionScenario", "build_forecast_scenario", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class PredictionScenario:
+    """A fully materialised prediction task.
+
+    Attributes
+    ----------
+    kind:
+        ``"production"`` (time 0), ``"in_field"`` (concurrent monitors),
+        or ``"forecast"`` (label from a later read point).
+    temperature_c, hours:
+        The SCAN Vmin corner and stress read point being predicted.
+    feature_set:
+        Which Fig.-3 feature configuration was used.
+    X, feature_names:
+        The feature matrix and aligned column names.
+    y:
+        Measured SCAN Vmin labels (V).
+    """
+
+    kind: str
+    temperature_c: float
+    hours: int
+    feature_set: FeatureSet
+    X: np.ndarray
+    feature_names: Tuple[str, ...]
+    y: np.ndarray
+
+    @property
+    def n_chips(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.kind} scenario: predict SCAN Vmin @ "
+            f"{self.temperature_c:g} degC, {self.hours} h stress, from "
+            f"{self.n_features} features ({self.feature_set.value}) "
+            f"over {self.n_chips} chips"
+        )
+
+
+def build_scenario(
+    dataset: SiliconDataset,
+    temperature_c: float,
+    hours: int,
+    feature_set: FeatureSet = FeatureSet.BOTH,
+) -> PredictionScenario:
+    """Materialise the Fig.-1 scenario for one corner and read point."""
+    temperature_c = validate_temperature(temperature_c)
+    hours = validate_read_point(hours)
+    X, names = dataset.features(
+        hours,
+        include_parametric=feature_set.include_parametric,
+        include_onchip=feature_set.include_onchip,
+    )
+    return PredictionScenario(
+        kind="production" if hours == 0 else "in_field",
+        temperature_c=temperature_c,
+        hours=hours,
+        feature_set=feature_set,
+        X=X,
+        feature_names=tuple(names),
+        y=dataset.target(temperature_c, hours),
+    )
+
+
+def build_forecast_scenario(
+    dataset: SiliconDataset,
+    temperature_c: float,
+    from_hours: int,
+    to_hours: int,
+    feature_set: FeatureSet = FeatureSet.BOTH,
+) -> PredictionScenario:
+    """Forecast a *future* read point from data available earlier.
+
+    The paper predicts Vmin at read point ``t`` from data up to ``t``
+    (monitors and Vmin are collected at the same pause).  The natural
+    in-field extension -- flagging a part *before* its next check-in --
+    is to forecast the Vmin at ``to_hours`` from features available at
+    ``from_hours`` only.  Feature availability follows the same Fig.-1
+    rule evaluated at ``from_hours``; only the label moves forward.
+    """
+    temperature_c = validate_temperature(temperature_c)
+    from_hours = validate_read_point(from_hours)
+    to_hours = validate_read_point(to_hours)
+    if to_hours <= from_hours:
+        raise ValueError(
+            f"forecast target ({to_hours} h) must lie after the feature "
+            f"cut-off ({from_hours} h)"
+        )
+    X, names = dataset.features(
+        from_hours,
+        include_parametric=feature_set.include_parametric,
+        include_onchip=feature_set.include_onchip,
+    )
+    return PredictionScenario(
+        kind="forecast",
+        temperature_c=temperature_c,
+        hours=to_hours,
+        feature_set=feature_set,
+        X=X,
+        feature_names=tuple(names),
+        y=dataset.target(temperature_c, to_hours),
+    )

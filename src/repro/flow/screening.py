@@ -1,0 +1,135 @@
+"""Interval-based specification screening.
+
+The paper's motivating production use (Sections I, II-B, V): decide from
+a *predicted* Vmin interval -- without running the slow step-down Vmin
+search -- whether a chip passes the product spec (the ``min_spec`` line of
+Fig. 1).  With a calibrated ``1 − α`` interval the decision logic is:
+
+* **pass**  -- the whole interval sits below the spec: even the
+  pessimistic bound meets it, so ship without measuring;
+* **fail**  -- the whole interval sits above the spec: the optimistic
+  bound already violates it, so scrap/bin without measuring;
+* **retest** -- the interval straddles the spec: only these marginal
+  chips go to the expensive ATE Vmin search.
+
+Because the interval covers the true Vmin with probability ``1 − α``,
+the chip-level mis-screen rate (a true failure shipped, or a good chip
+scrapped) is bounded by ``α`` -- and in practice far lower, since only
+straddling chips are ever at risk and those are routed to retest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.intervals import PredictionIntervals
+from repro.silicon.constants import MIN_SPEC_V
+
+__all__ = ["ScreeningDecision", "ScreeningOutcome", "SpecScreeningPolicy"]
+
+
+class ScreeningDecision(enum.Enum):
+    """Per-chip screening verdict."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    RETEST = "retest"
+
+
+@dataclass(frozen=True)
+class ScreeningOutcome:
+    """Aggregate result of screening one lot.
+
+    Attributes
+    ----------
+    decisions:
+        Per-chip :class:`ScreeningDecision` array (dtype object).
+    test_time_saved:
+        Fraction of chips that skipped the ATE Vmin search.
+    underkill / overkill:
+        With reference labels supplied: fraction of truly failing chips
+        that were passed, and of truly passing chips that were failed
+        (both exclude retested chips, which are measured anyway).
+    """
+
+    decisions: np.ndarray
+    test_time_saved: float
+    underkill: float
+    overkill: float
+
+    def count(self, decision: ScreeningDecision) -> int:
+        return int(np.sum(self.decisions == decision))
+
+
+class SpecScreeningPolicy:
+    """Screen chips against a Vmin specification using intervals.
+
+    Parameters
+    ----------
+    min_spec_v:
+        The specification threshold (V); chips whose true Vmin exceeds it
+        are failures.  Defaults to the simulated product's spec.
+    guard_band_v:
+        Extra margin subtracted from the spec on the pass side: a chip
+        passes only if ``upper + guard_band <= min_spec``.  Non-negative.
+    """
+
+    def __init__(
+        self, min_spec_v: float = MIN_SPEC_V, guard_band_v: float = 0.0
+    ) -> None:
+        if guard_band_v < 0:
+            raise ValueError(f"guard_band_v must be >= 0, got {guard_band_v}")
+        self.min_spec_v = min_spec_v
+        self.guard_band_v = guard_band_v
+
+    def decide(self, intervals: PredictionIntervals) -> np.ndarray:
+        """Per-chip decisions from predicted intervals."""
+        upper_ok = intervals.upper + self.guard_band_v <= self.min_spec_v
+        lower_bad = intervals.lower > self.min_spec_v
+        decisions = np.empty(len(intervals), dtype=object)
+        decisions[:] = ScreeningDecision.RETEST
+        decisions[upper_ok] = ScreeningDecision.PASS
+        decisions[lower_bad] = ScreeningDecision.FAIL
+        return decisions
+
+    def screen(
+        self,
+        intervals: PredictionIntervals,
+        true_vmin: np.ndarray,
+    ) -> ScreeningOutcome:
+        """Screen a lot and audit the decisions against reference Vmin.
+
+        ``true_vmin`` is the measured (or ground-truth) Vmin used only for
+        the underkill/overkill audit -- the decisions themselves never see
+        it.
+        """
+        true_vmin = np.asarray(true_vmin, dtype=np.float64)
+        if true_vmin.shape != intervals.lower.shape:
+            raise ValueError(
+                f"true_vmin has shape {true_vmin.shape}, intervals have "
+                f"shape {intervals.lower.shape}"
+            )
+        decisions = self.decide(intervals)
+        retested = decisions == ScreeningDecision.RETEST
+        passed = decisions == ScreeningDecision.PASS
+        failed = decisions == ScreeningDecision.FAIL
+
+        truly_failing = true_vmin > self.min_spec_v
+        n_failing = int(truly_failing.sum())
+        n_passing = int((~truly_failing).sum())
+        underkill = (
+            float(np.sum(passed & truly_failing)) / n_failing if n_failing else 0.0
+        )
+        overkill = (
+            float(np.sum(failed & ~truly_failing)) / n_passing if n_passing else 0.0
+        )
+        return ScreeningOutcome(
+            decisions=decisions,
+            test_time_saved=float(np.mean(~retested)),
+            underkill=underkill,
+            overkill=overkill,
+        )

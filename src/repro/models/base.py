@@ -1,0 +1,187 @@
+"""Estimator protocol shared by every model in :mod:`repro.models`.
+
+The conformal wrappers in :mod:`repro.core` need to treat heterogeneous
+regressors (linear, GP, boosting, neural network) uniformly: re-fit fresh
+copies on sub-splits of the data, query point or quantile predictions, and
+introspect configuration.  This module provides the minimal scikit-learn
+compatible machinery for that:
+
+* :class:`BaseRegressor` -- base class implementing ``get_params`` /
+  ``set_params`` by introspecting ``__init__`` signatures,
+* :func:`clone` -- build an unfitted copy of an estimator with identical
+  hyper-parameters,
+* input validation helpers :func:`check_X`, :func:`check_X_y`,
+  :func:`check_fitted`.
+
+Nothing in here is specific to silicon data; the module is deliberately a
+tiny, dependency-free re-implementation of the scikit-learn estimator
+contract so the rest of the library can stay idiomatic.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BaseRegressor",
+    "NotFittedError",
+    "check_X",
+    "check_X_y",
+    "check_fitted",
+    "check_random_state",
+    "clone",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` is called on an estimator before ``fit``."""
+
+
+def check_random_state(seed: Any) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    ``Generator`` (returned unchanged).  Mirrors scikit-learn's
+    ``check_random_state`` but produces the modern ``Generator`` API.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed)!r}"
+    )
+
+
+def check_X(X: Any, *, name: str = "X") -> np.ndarray:
+    """Validate a 2-D feature matrix and return it as ``float64``.
+
+    Raises ``ValueError`` for wrong dimensionality, empty inputs, or
+    non-finite entries.  A 1-D vector is interpreted as a single feature
+    column only if explicitly reshaped by the caller -- silently guessing
+    between "one sample" and "one feature" causes subtle bugs, so we refuse.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_samples, n_features), got shape {X.shape}")
+    if X.shape[0] == 0 or X.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / target vector pair with matching lengths."""
+    X = check_X(X)
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent lengths: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if not np.all(np.isfinite(y)):
+        raise ValueError("y contains NaN or infinite values")
+    return X, y
+
+
+def check_fitted(estimator: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` has ``attribute``."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )
+
+
+class BaseRegressor:
+    """Base class providing the parameter-introspection contract.
+
+    Subclasses must store every constructor argument on ``self`` under the
+    same name (the scikit-learn convention) and must not mutate those
+    attributes during ``fit``; fitted state uses a trailing underscore
+    (``coef_``, ``trees_`` ...).  That discipline is what makes
+    :func:`clone` and grid-style experimentation possible.
+    """
+
+    @classmethod
+    def _param_names(cls) -> Tuple[str, ...]:
+        signature = inspect.signature(cls.__init__)
+        return tuple(
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind != inspect.Parameter.VAR_KEYWORD
+        )
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return a dict of constructor parameters and their current values."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseRegressor":
+        """Set constructor parameters; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def fit(self, X: Any, y: Any) -> "BaseRegressor":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, X: Any) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def score(self, X: Any, y: Any) -> float:
+        """Coefficient of determination :math:`R^2` on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        prediction = self.predict(X)
+        residual = float(np.sum((y - prediction) ** 2))
+        total = float(np.sum((y - np.mean(y)) ** 2))
+        if total == 0.0:
+            # Constant target: perfect iff we predicted it exactly.
+            return 1.0 if residual == 0.0 else 0.0
+        return 1.0 - residual / total
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: Any, *, quantile: Optional[float] = None) -> Any:
+    """Return an unfitted copy of ``estimator`` with the same hyper-parameters.
+
+    Parameters
+    ----------
+    estimator:
+        Any object exposing ``get_params``.  Constructor parameters are
+        deep-copied so mutable defaults (e.g. kernel objects) are not shared
+        between the clone and the original.
+    quantile:
+        If given and the estimator accepts a ``quantile`` parameter, override
+        it in the clone.  This is the hook the quantile-band regressor uses to
+        turn one template model into a (lower, upper) pair.
+    """
+    if not hasattr(estimator, "get_params"):
+        raise TypeError(
+            f"cannot clone object of type {type(estimator).__name__}: "
+            "it does not expose get_params()"
+        )
+    params = copy.deepcopy(estimator.get_params())
+    if quantile is not None:
+        if "quantile" not in params:
+            raise ValueError(
+                f"{type(estimator).__name__} has no 'quantile' parameter; "
+                "cannot retarget it to a quantile objective"
+            )
+        params["quantile"] = quantile
+    return type(estimator)(**params)

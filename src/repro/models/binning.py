@@ -1,0 +1,140 @@
+"""Quantile binning of feature matrices for histogram-based tree growth.
+
+Both boosting models pre-discretise every feature into at most ``max_bins``
+quantile bins once per fit; split search then works on integer bin codes
+with ``np.bincount`` histograms instead of per-node sorting.  With the
+paper's 156-chip dataset and the default 32 bins this is numerically
+indistinguishable from exact greedy search while being orders of magnitude
+faster on the 1800-column parametric feature block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["FeatureBinner", "quantile_bin_edges"]
+
+
+def quantile_bin_edges(column: np.ndarray, max_bins: int) -> np.ndarray:
+    """Candidate split thresholds for one feature column.
+
+    Returns a strictly increasing array of at most ``max_bins - 1``
+    thresholds.  When the column has few distinct values, thresholds are
+    the midpoints between consecutive distinct values (exact search);
+    otherwise they are interior quantiles.  Constant columns yield an
+    empty array -- they can never split.
+    """
+    if max_bins < 2:
+        raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+    unique = np.unique(column)
+    if unique.size <= 1:
+        return np.empty(0)
+    midpoints = (unique[:-1] + unique[1:]) / 2.0
+    if midpoints.size <= max_bins - 1:
+        return midpoints
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    return np.unique(np.quantile(column, quantiles))
+
+
+class FeatureBinner:
+    """Digitise a feature matrix into integer bin codes.
+
+    ``fit`` learns per-feature threshold arrays from the training matrix;
+    ``transform`` maps any matrix with the same columns to codes in
+    ``[0, n_bins)``.  Bin code ``b`` for feature ``j`` means
+    ``edges[j][b-1] < x <= edges[j][b]`` (code 0 = below the first edge).
+    """
+
+    def __init__(self, max_bins: int = 32) -> None:
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.max_bins = max_bins
+        self.edges_: List[np.ndarray] = []
+
+    def fit(self, X: np.ndarray) -> "FeatureBinner":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        self.edges_ = [quantile_bin_edges(X[:, j], self.max_bins) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not self.edges_ and self.edges_ != []:
+            raise RuntimeError("FeatureBinner is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.edges_):
+            raise ValueError(
+                f"X must be 2-D with {len(self.edges_)} columns, got shape {X.shape}"
+            )
+        binned = np.zeros(X.shape, dtype=np.int32)
+        for j, edges in enumerate(self.edges_):
+            if edges.size:
+                binned[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return binned
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    @property
+    def n_bins(self) -> int:
+        """Upper bound on bin codes across all features (codes < n_bins)."""
+        if not self.edges_:
+            return 1
+        return max((edges.size for edges in self.edges_), default=0) + 1
+
+    def threshold(self, feature: int, bin_index: int) -> float:
+        """Raw-unit threshold corresponding to splitting after ``bin_index``.
+
+        A sample goes right iff its bin code exceeds ``bin_index``, i.e.
+        iff its raw value exceeds ``edges[feature][bin_index]``.
+        """
+        edges = self.edges_[feature]
+        if not 0 <= bin_index < edges.size:
+            raise IndexError(
+                f"bin_index {bin_index} out of range for feature {feature} "
+                f"with {edges.size} edges"
+            )
+        return float(edges[bin_index])
+
+
+def histogram_cells(
+    binned: np.ndarray,
+    leaf_idx: np.ndarray,
+    n_leaves: int,
+    n_bins: int,
+    candidate_features: np.ndarray,
+) -> np.ndarray:
+    """Flat (feature, leaf, bin) cell index per (sample, feature) pair.
+
+    Build once per tree level and feed to :func:`histogram_sums` for every
+    statistic (gradients, Hessians, counts) so the index arithmetic is not
+    repeated.
+    """
+    sub = binned[:, candidate_features]
+    n_candidates = candidate_features.size
+    return (
+        np.arange(n_candidates)[None, :] * (n_leaves * n_bins)
+        + leaf_idx[:, None] * n_bins
+        + sub
+    ).ravel()
+
+
+def histogram_sums(
+    cell: np.ndarray,
+    weights: np.ndarray,
+    n_leaves: int,
+    n_bins: int,
+    n_candidates: int,
+) -> np.ndarray:
+    """Sum per-sample ``weights`` into pre-computed (feature, leaf, bin) cells.
+
+    ``cell`` comes from :func:`histogram_cells`; the result has shape
+    ``(n_candidates, n_leaves, n_bins)``.  This is the inner loop of
+    histogram-based split search shared by both boosting models.
+    """
+    size = n_candidates * n_leaves * n_bins
+    return np.bincount(
+        cell, weights=np.repeat(weights, n_candidates), minlength=size
+    ).reshape(n_candidates, n_leaves, n_bins)

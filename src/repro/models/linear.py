@@ -1,0 +1,214 @@
+"""Linear point and quantile regression.
+
+The paper finds plain linear regression to be a competitive :math:`V_{min}`
+point predictor (Section IV-D) and uses its pinball-loss variant as one of
+the four quantile regressors underneath QR/CQR (Section IV-E).
+
+* :class:`LinearRegression` solves ordinary least squares, optionally with
+  an L2 (ridge) penalty, via an SVD-based least-squares solve that stays
+  stable on the near-collinear feature sets CFS produces.
+* :class:`QuantileLinearRegression` solves the exact linear program of
+  Koenker & Bassett (1978) with ``scipy.optimize.linprog`` (HiGHS).  When a
+  ridge penalty is requested -- useful when the LP is degenerate on tiny
+  datasets -- it falls back to iteratively reweighted least squares on a
+  smoothed pinball loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.models.base import BaseRegressor, check_fitted, check_X, check_X_y
+from repro.models.losses import validate_quantile
+
+__all__ = ["LinearRegression", "QuantileLinearRegression"]
+
+
+def _add_intercept_column(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((X.shape[0], 1))])
+
+
+class LinearRegression(BaseRegressor):
+    """Ordinary least squares with optional ridge regularisation.
+
+    Parameters
+    ----------
+    alpha:
+        L2 penalty strength on the coefficients (the intercept is never
+        penalised).  ``alpha=0`` gives plain OLS, solved by SVD so rank
+        deficiency returns the minimum-norm solution instead of blowing up.
+    fit_intercept:
+        Whether to learn an intercept term.
+    """
+
+    def __init__(self, alpha: float = 0.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = check_X_y(X, y)
+        n_features = X.shape[1]
+        if self.fit_intercept:
+            # Centre so the ridge penalty leaves the intercept alone.
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            X_centered = X - x_mean
+            y_centered = y - y_mean
+        else:
+            x_mean = np.zeros(n_features)
+            y_mean = 0.0
+            X_centered = X
+            y_centered = y
+
+        if self.alpha == 0.0:
+            coef, *_ = np.linalg.lstsq(X_centered, y_centered, rcond=None)
+        else:
+            # Ridge normal equations with a Cholesky solve; the alpha*I term
+            # guarantees positive definiteness.
+            gram = X_centered.T @ X_centered + self.alpha * np.eye(n_features)
+            coef = np.linalg.solve(gram, X_centered.T @ y_centered)
+
+        self.coef_ = coef
+        self.intercept_ = y_mean - float(x_mean @ coef)
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class QuantileLinearRegression(BaseRegressor):
+    """Linear quantile regression minimising the pinball loss of Eq. (5).
+
+    Parameters
+    ----------
+    quantile:
+        Target quantile ``q`` in (0, 1).
+    alpha:
+        Optional L2 penalty.  ``alpha=0`` (default) solves the exact LP
+        formulation; ``alpha>0`` switches to smoothed-pinball IRLS because
+        the ridge term is not expressible in an LP.
+    fit_intercept:
+        Whether to learn an intercept term (never penalised).
+    max_iter, tol:
+        IRLS iteration controls (only used when ``alpha > 0``).
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.5,
+        alpha: float = 0.0,
+        fit_intercept: bool = True,
+        max_iter: int = 100,
+        tol: float = 1e-8,
+    ) -> None:
+        self.quantile = validate_quantile(quantile)
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    # -- exact LP ---------------------------------------------------------
+    def _fit_linprog(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Solve min Σ q·u⁺ + (1−q)·u⁻ s.t. Xβ + u⁺ − u⁻ = y, u± ≥ 0.
+
+        β is split into positive/negative parts so all LP variables are
+        non-negative.  Returns the stacked coefficient vector (including the
+        intercept column if present).
+        """
+        n_samples, n_features = X.shape
+        q = self.quantile
+        # Variables: [beta+ (p), beta- (p), u+ (n), u- (n)]
+        cost = np.concatenate(
+            [
+                np.zeros(2 * n_features),
+                np.full(n_samples, q),
+                np.full(n_samples, 1.0 - q),
+            ]
+        )
+        identity = np.eye(n_samples)
+        equality_lhs = np.hstack([X, -X, identity, -identity])
+        result = optimize.linprog(
+            cost,
+            A_eq=equality_lhs,
+            b_eq=y,
+            bounds=[(0, None)] * cost.size,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"quantile regression LP failed: {result.message}")
+        beta_pos = result.x[:n_features]
+        beta_neg = result.x[n_features : 2 * n_features]
+        return beta_pos - beta_neg
+
+    # -- smoothed IRLS ----------------------------------------------------
+    def _fit_irls(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Ridge-penalised smoothed pinball via iteratively reweighted LS.
+
+        Uses the well-known identity that the pinball loss equals an
+        asymmetrically weighted absolute loss, approximated by weighted
+        least squares with weights ``w_i = a_i / max(|r_i|, eps)`` where
+        ``a_i`` is ``q`` or ``1-q`` by residual sign.
+        """
+        n_features = X.shape[1]
+        smoothing = 1e-6
+        penalty = self.alpha * np.eye(n_features)
+        if self.fit_intercept:
+            penalty[-1, -1] = 0.0  # the intercept column is appended last
+        coef = np.linalg.lstsq(X, y, rcond=None)[0]
+        for _ in range(self.max_iter):
+            residual = y - X @ coef
+            asymmetric = np.where(residual >= 0, self.quantile, 1.0 - self.quantile)
+            weights = asymmetric / np.maximum(np.abs(residual), smoothing)
+            weighted_X = X * weights[:, None]
+            gram = X.T @ weighted_X + penalty
+            new_coef = np.linalg.solve(gram, weighted_X.T @ y)
+            if np.max(np.abs(new_coef - coef)) < self.tol:
+                coef = new_coef
+                break
+            coef = new_coef
+        return coef
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "QuantileLinearRegression":
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        design = _add_intercept_column(X) if self.fit_intercept else X
+        if self.alpha == 0.0:
+            coef = self._fit_linprog(design, y)
+        else:
+            coef = self._fit_irls(design, y)
+        if self.fit_intercept:
+            self.coef_ = coef[:-1]
+            self.intercept_ = float(coef[-1])
+        else:
+            self.coef_ = coef
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "coef_")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,143 @@
+"""The 2-layer MLP point/quantile regressor of paper Section IV-C.4.
+
+Architecture and training exactly as stated in the paper (which follows
+Yin et al., ITC 2023): one hidden layer of 16 ReLU units, Adam with
+learning rate 0.01, 3000 full-batch epochs, and an L2 weight penalty of
+0.1.  The loss is mean squared error for point prediction or the pinball
+loss of Eq. (5) when ``quantile`` is set (Section IV-E builds QR/CQR
+neural networks this way).
+
+The network is implemented with manual backpropagation on numpy arrays --
+no autograd -- and standardises inputs and targets internally so the fixed
+learning rate behaves across feature scales.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.base import (
+    BaseRegressor,
+    check_fitted,
+    check_random_state,
+    check_X,
+    check_X_y,
+)
+from repro.models.losses import validate_quantile
+from repro.models.optim import Adam
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor(BaseRegressor):
+    """Fully connected ReLU network with one hidden layer.
+
+    Parameters
+    ----------
+    hidden_units:
+        Width of the single hidden layer (paper: 16).
+    learning_rate:
+        Adam step size (paper: 0.01).
+    epochs:
+        Full-batch training epochs (paper: 3000).
+    weight_decay:
+        L2 penalty weight on all weight matrices, not biases (paper: 0.1).
+    quantile:
+        ``None`` trains on MSE; a value in (0, 1) trains on the pinball
+        loss for that quantile.
+    random_state:
+        Seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 16,
+        learning_rate: float = 0.01,
+        epochs: int = 3000,
+        weight_decay: float = 0.1,
+        quantile: Optional[float] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if hidden_units < 1:
+            raise ValueError(f"hidden_units must be >= 1, got {hidden_units}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        if quantile is not None:
+            quantile = validate_quantile(quantile)
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.weight_decay = weight_decay
+        self.quantile = quantile
+        self.random_state = random_state
+        self.weights_: Optional[List[np.ndarray]] = None
+
+    # -- internals ----------------------------------------------------------
+    def _loss_gradient(self, y: np.ndarray, prediction: np.ndarray) -> np.ndarray:
+        """d(mean loss)/d(prediction), per sample."""
+        n = y.shape[0]
+        if self.quantile is None:
+            return 2.0 * (prediction - y) / n
+        # Pinball subgradient: −q where under-predicting, (1−q) where over.
+        return np.where(y > prediction, -self.quantile, 1.0 - self.quantile) / n
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        rng = check_random_state(self.random_state)
+
+        # Standardise inputs and target so the fixed Adam step size works
+        # for Vmin in volts and features in amps alike.
+        self._x_mean = X.mean(axis=0)
+        x_std = X.std(axis=0)
+        self._x_std = np.where(x_std == 0.0, 1.0, x_std)
+        self._y_mean = float(y.mean())
+        y_std = float(y.std())
+        self._y_std = y_std if y_std > 0 else 1.0
+        X_work = (X - self._x_mean) / self._x_std
+        y_work = (y - self._y_mean) / self._y_std
+
+        n_in, n_hidden = self.n_features_in_, self.hidden_units
+        # He initialisation for the ReLU layer, Xavier-ish for the head.
+        w1 = rng.normal(0.0, np.sqrt(2.0 / n_in), size=(n_in, n_hidden))
+        b1 = np.zeros(n_hidden)
+        w2 = rng.normal(0.0, np.sqrt(1.0 / n_hidden), size=(n_hidden, 1))
+        b2 = np.zeros(1)
+        parameters = [w1, b1, w2, b2]
+        optimizer = Adam(learning_rate=self.learning_rate)
+
+        n = X_work.shape[0]
+        for _ in range(self.epochs):
+            hidden_pre = X_work @ w1 + b1
+            hidden = np.maximum(hidden_pre, 0.0)
+            output = (hidden @ w2 + b2).ravel()
+
+            d_output = self._loss_gradient(y_work, output)[:, None]
+            grad_w2 = hidden.T @ d_output + self.weight_decay * w2 / n
+            grad_b2 = d_output.sum(axis=0)
+            d_hidden = (d_output @ w2.T) * (hidden_pre > 0)
+            grad_w1 = X_work.T @ d_hidden + self.weight_decay * w1 / n
+            grad_b1 = d_hidden.sum(axis=0)
+
+            optimizer.step(parameters, [grad_w1, grad_b1, grad_w2, grad_b2])
+
+        self.weights_ = parameters
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "weights_")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        w1, b1, w2, b2 = self.weights_
+        X_work = (X - self._x_mean) / self._x_std
+        hidden = np.maximum(X_work @ w1 + b1, 0.0)
+        output = (hidden @ w2 + b2).ravel()
+        return output * self._y_std + self._y_mean

@@ -1,0 +1,162 @@
+"""The (lower, upper) quantile-band region regressor of paper Eq. (2).
+
+A region regressor :math:`g_r` is a pair of point predictors trained on
+the pinball loss at quantiles :math:`q_{lo} = \\alpha/2` and
+:math:`q_{hi} = 1 - \\alpha/2`; the predicted region for a sample is the
+closed interval between the two (paper Section II-B.2).  This is the "QR"
+row family of Table III, and also the heuristic band that CQR calibrates.
+
+Any estimator exposing a ``quantile`` constructor parameter can act as the
+template: :class:`~repro.models.linear.QuantileLinearRegression`,
+:class:`~repro.models.nn.MLPRegressor`,
+:class:`~repro.models.gbm.GradientBoostingRegressor`, or
+:class:`~repro.models.oblivious.ObliviousBoostingRegressor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import BaseRegressor, check_fitted, clone
+
+__all__ = ["QuantileBandRegressor"]
+
+
+class QuantileBandRegressor(BaseRegressor):
+    """Train two quantile clones of a template model and predict a band.
+
+    Parameters
+    ----------
+    template:
+        An unfitted estimator with a ``quantile`` parameter.  It is cloned
+        (never mutated) into a lower- and an upper-quantile model.
+    alpha:
+        Target miscoverage; the band spans quantiles ``alpha/2`` and
+        ``1 − alpha/2`` (paper Section IV-E uses ``alpha=0.1`` → 5 %–95 %).
+
+    Notes
+    -----
+    The two quantile models are trained independently, so on hard data the
+    raw band may cross (lower above upper).  ``predict_interval`` applies
+    the standard monotonicity fix of sorting the two bounds per sample;
+    the crossing rate is exposed as ``crossing_rate_`` for diagnostics.
+    """
+
+    def __init__(self, template: BaseRegressor, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.template = template
+        self.alpha = alpha
+        self.lower_: Optional[BaseRegressor] = None
+        self.upper_: Optional[BaseRegressor] = None
+
+    @property
+    def quantiles(self) -> Tuple[float, float]:
+        """The (lower, upper) target quantiles implied by ``alpha``."""
+        return self.alpha / 2.0, 1.0 - self.alpha / 2.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "QuantileBandRegressor":
+        q_lo, q_hi = self.quantiles
+        self.lower_ = clone(self.template, quantile=q_lo).fit(X, y)
+        self.upper_ = clone(self.template, quantile=q_hi).fit(X, y)
+        return self
+
+    def predict_interval(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample (lower, upper) band, with crossings sorted out."""
+        check_fitted(self, "lower_")
+        raw_lower = self.lower_.predict(X)
+        raw_upper = self.upper_.predict(X)
+        self.crossing_rate_ = float(np.mean(raw_lower > raw_upper))
+        lower = np.minimum(raw_lower, raw_upper)
+        upper = np.maximum(raw_lower, raw_upper)
+        return lower, upper
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Band midpoint -- a crude point estimate, mainly for diagnostics."""
+        lower, upper = self.predict_interval(X)
+        return (lower + upper) / 2.0
+
+
+class PackageDefaultQuantileBand(BaseRegressor):
+    """A quantile band built the way the CatBoost *package defaults* do it.
+
+    CatBoost's ``loss_function='Quantile'`` defaults to ``alpha=0.5``
+    unless explicitly written as ``'Quantile:alpha=0.05'``.  A user who
+    "utilizes the default hyperparameters" (paper Section IV-C.3) and only
+    switches the loss to Quantile therefore trains *both* band models on
+    the **median** objective -- they differ only through training
+    randomness.  The resulting band is a few mV wide with ~10-25 %
+    coverage, which is precisely the pathological "QR CatBoost" row of the
+    paper's Table III; conformalizing it (CQR CatBoost) degenerates into
+    split CP around the strongest point predictor, which is why CQR
+    CatBoost is simultaneously the *shortest* and well-covered variant.
+
+    This class exists to reproduce that published behaviour faithfully
+    and transparently; pair it with
+    :class:`QuantileBandRegressor` (the correctly configured band) in the
+    ablation benchmarks to quantify the difference.
+
+    Parameters
+    ----------
+    template:
+        Unfitted estimator with ``quantile`` and (ideally) ``random_state``
+        parameters.
+    alpha:
+        Nominal target miscoverage -- recorded for interface parity; the
+        trained quantiles are both ``loss_quantile`` regardless.
+    loss_quantile:
+        The quantile both models are actually trained at (package default
+        0.5).
+    random_state:
+        Seed for drawing the two member seeds.
+    """
+
+    def __init__(
+        self,
+        template: BaseRegressor,
+        alpha: float = 0.1,
+        loss_quantile: float = 0.5,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if not 0.0 < loss_quantile < 1.0:
+            raise ValueError(
+                f"loss_quantile must be in (0, 1), got {loss_quantile}"
+            )
+        self.template = template
+        self.alpha = alpha
+        self.loss_quantile = loss_quantile
+        self.random_state = random_state
+        self.lower_: Optional[BaseRegressor] = None
+        self.upper_: Optional[BaseRegressor] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PackageDefaultQuantileBand":
+        from repro.models.base import check_random_state
+
+        rng = check_random_state(self.random_state)
+        members = []
+        for _ in range(2):
+            member = clone(self.template, quantile=self.loss_quantile)
+            if "random_state" in member.get_params():
+                member.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
+            members.append(member.fit(X, y))
+        self.lower_, self.upper_ = members
+        return self
+
+    def predict_interval(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample band between the two (near-identical) median fits."""
+        check_fitted(self, "lower_")
+        raw_lower = self.lower_.predict(X)
+        raw_upper = self.upper_.predict(X)
+        self.crossing_rate_ = float(np.mean(raw_lower > raw_upper))
+        lower = np.minimum(raw_lower, raw_upper)
+        upper = np.maximum(raw_lower, raw_upper)
+        return lower, upper
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Band midpoint (an honest median estimate, unlike the band)."""
+        lower, upper = self.predict_interval(X)
+        return (lower + upper) / 2.0

@@ -1,0 +1,326 @@
+"""Regression trees fitted to per-sample gradients and Hessians.
+
+This is the shared tree machinery underneath both boosting models:
+
+* :class:`GradientTree` grows a depth-wise binary tree by exact greedy
+  search maximising the XGBoost split gain
+
+  .. math::
+
+      \\mathrm{gain} = \\tfrac12\\Big[\\frac{G_L^2}{H_L+\\lambda}
+          + \\frac{G_R^2}{H_R+\\lambda}
+          - \\frac{(G_L+G_R)^2}{H_L+H_R+\\lambda}\\Big] - \\gamma,
+
+  with Newton-optimal leaf values :math:`w = -G/(H+\\lambda)`.
+
+* :class:`DecisionTreeRegressor` is the stand-alone estimator: fitting a
+  single gradient tree to the squared loss from a zero base score makes
+  every leaf value the mean of its targets, i.e. an ordinary CART
+  regression tree.
+
+Trees are stored as flat parallel arrays (feature, threshold, children,
+value) so prediction is an iterative descent without Python recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import BaseRegressor, check_fitted, check_X, check_X_y
+
+__all__ = ["DecisionTreeRegressor", "GradientTree", "TreeGrowthParams"]
+
+_LEAF = -1
+
+
+@dataclass
+class TreeGrowthParams:
+    """Growth limits and regularisation for :class:`GradientTree`.
+
+    Attributes
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum number of samples on each side of a split.
+    min_child_weight:
+        Minimum Hessian sum on each side of a split (XGBoost semantics;
+        with unit Hessians this equals a sample count).
+    reg_lambda:
+        L2 regularisation on leaf values (XGBoost ``lambda``).
+    gamma:
+        Minimum gain required to keep a split (XGBoost ``gamma``).
+    """
+
+    max_depth: int = 6
+    min_samples_leaf: int = 1
+    min_child_weight: float = 1.0
+    reg_lambda: float = 1.0
+    gamma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {self.max_depth}")
+        if self.min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}"
+            )
+        if self.min_child_weight < 0:
+            raise ValueError(
+                f"min_child_weight must be >= 0, got {self.min_child_weight}"
+            )
+        if self.reg_lambda < 0:
+            raise ValueError(f"reg_lambda must be >= 0, got {self.reg_lambda}")
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+
+
+@dataclass
+class _NodeBuffers:
+    """Flat array representation filled while growing (internal)."""
+
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[float] = field(default_factory=list)
+
+    def new_node(self) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(0.0)
+        return len(self.feature) - 1
+
+
+def _best_split_for_feature(
+    values: np.ndarray,
+    gradients: np.ndarray,
+    hessians: np.ndarray,
+    params: TreeGrowthParams,
+) -> Tuple[float, float]:
+    """Return (gain, threshold) of the best split on one feature column.
+
+    Vectorised exact greedy: sort by feature value, take prefix sums of
+    gradients/Hessians, and evaluate the gain at every boundary between
+    distinct values.  Returns ``(-inf, nan)`` when no admissible split
+    exists.
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    grad_prefix = np.cumsum(gradients[order])
+    hess_prefix = np.cumsum(hessians[order])
+    total_grad = grad_prefix[-1]
+    total_hess = hess_prefix[-1]
+    n = values.shape[0]
+
+    # Candidate split after position i keeps samples [0..i] on the left.
+    positions = np.arange(n - 1)
+    distinct = sorted_values[positions] < sorted_values[positions + 1]
+    left_count = positions + 1
+    right_count = n - left_count
+    admissible = (
+        distinct
+        & (left_count >= params.min_samples_leaf)
+        & (right_count >= params.min_samples_leaf)
+    )
+    if not np.any(admissible):
+        return -np.inf, float("nan")
+
+    g_left = grad_prefix[positions]
+    h_left = hess_prefix[positions]
+    g_right = total_grad - g_left
+    h_right = total_hess - h_left
+    admissible &= (h_left >= params.min_child_weight) & (
+        h_right >= params.min_child_weight
+    )
+    if not np.any(admissible):
+        return -np.inf, float("nan")
+
+    lam = params.reg_lambda
+    gain = 0.5 * (
+        g_left**2 / (h_left + lam)
+        + g_right**2 / (h_right + lam)
+        - total_grad**2 / (total_hess + lam)
+    )
+    gain = np.where(admissible, gain, -np.inf)
+    best = int(np.argmax(gain))
+    threshold = 0.5 * (sorted_values[best] + sorted_values[best + 1])
+    return float(gain[best]), threshold
+
+
+class GradientTree:
+    """A single Newton-boosting tree over (gradient, Hessian) statistics."""
+
+    def __init__(self, params: Optional[TreeGrowthParams] = None) -> None:
+        self.params = params or TreeGrowthParams()
+        self.feature_: Optional[np.ndarray] = None
+        self.threshold_: Optional[np.ndarray] = None
+        self.left_: Optional[np.ndarray] = None
+        self.right_: Optional[np.ndarray] = None
+        self.value_: Optional[np.ndarray] = None
+
+    # -- growing ----------------------------------------------------------
+    def fit_gradients(
+        self,
+        X: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        feature_indices: Optional[np.ndarray] = None,
+    ) -> "GradientTree":
+        """Grow the tree on ``X`` against per-sample gradients/Hessians.
+
+        ``feature_indices`` restricts split search to a column subset
+        (used by the boosting layer's ``colsample`` option); leaf values
+        are always Newton steps :math:`-G/(H+\\lambda)`.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        gradients = np.asarray(gradients, dtype=np.float64)
+        hessians = np.asarray(hessians, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if gradients.shape != (X.shape[0],) or hessians.shape != (X.shape[0],):
+            raise ValueError("gradients/hessians must be 1-D with len(X) entries")
+        if feature_indices is None:
+            feature_indices = np.arange(X.shape[1])
+
+        buffers = _NodeBuffers()
+        root = buffers.new_node()
+        # Work stack of (node_id, row_indices, depth); iterative to avoid
+        # recursion limits on deep trees.
+        stack = [(root, np.arange(X.shape[0]), 0)]
+        lam = self.params.reg_lambda
+        while stack:
+            node_id, rows, depth = stack.pop()
+            grad_sum = float(gradients[rows].sum())
+            hess_sum = float(hessians[rows].sum())
+            buffers.value[node_id] = -grad_sum / (hess_sum + lam)
+
+            if depth >= self.params.max_depth or rows.size < 2 * self.params.min_samples_leaf:
+                continue
+
+            best_gain = -np.inf
+            best_feature = _LEAF
+            best_threshold = float("nan")
+            for feature in feature_indices:
+                gain, threshold = _best_split_for_feature(
+                    X[rows, feature], gradients[rows], hessians[rows], self.params
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = int(feature)
+                    best_threshold = threshold
+            if best_feature == _LEAF or best_gain <= self.params.gamma:
+                continue
+
+            goes_left = X[rows, best_feature] <= best_threshold
+            left_id = buffers.new_node()
+            right_id = buffers.new_node()
+            buffers.feature[node_id] = best_feature
+            buffers.threshold[node_id] = best_threshold
+            buffers.left[node_id] = left_id
+            buffers.right[node_id] = right_id
+            stack.append((left_id, rows[goes_left], depth + 1))
+            stack.append((right_id, rows[~goes_left], depth + 1))
+
+        self.feature_ = np.asarray(buffers.feature, dtype=np.int64)
+        self.threshold_ = np.asarray(buffers.threshold, dtype=np.float64)
+        self.left_ = np.asarray(buffers.left, dtype=np.int64)
+        self.right_ = np.asarray(buffers.right, dtype=np.int64)
+        self.value_ = np.asarray(buffers.value, dtype=np.float64)
+        return self
+
+    # -- prediction --------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf value for every row of ``X``."""
+        if self.feature_ is None:
+            raise RuntimeError("GradientTree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        node_ids = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature_[node_ids] != _LEAF
+        while np.any(active):
+            current = node_ids[active]
+            feature = self.feature_[current]
+            threshold = self.threshold_[current]
+            rows = np.flatnonzero(active)
+            goes_left = X[rows, feature] <= threshold
+            node_ids[rows[goes_left]] = self.left_[current[goes_left]]
+            node_ids[rows[~goes_left]] = self.right_[current[~goes_left]]
+            active = self.feature_[node_ids] != _LEAF
+        return self.value_[node_ids]
+
+    @property
+    def n_nodes(self) -> int:
+        return 0 if self.feature_ is None else int(self.feature_.size)
+
+    @property
+    def n_leaves(self) -> int:
+        if self.feature_ is None:
+            return 0
+        return int(np.sum(self.feature_ == _LEAF))
+
+    def feature_importances(self, n_features: int) -> np.ndarray:
+        """Split counts per feature (unnormalised)."""
+        counts = np.zeros(n_features)
+        if self.feature_ is not None:
+            for feature in self.feature_:
+                if feature != _LEAF:
+                    counts[feature] += 1.0
+        return counts
+
+
+class DecisionTreeRegressor(BaseRegressor):
+    """CART-style regression tree minimising squared error.
+
+    Implemented as a single :class:`GradientTree` on squared-loss statistics
+    (gradient ``−y``, Hessian ``1`` from a zero base score) with
+    ``reg_lambda = 0``, which makes each leaf predict the mean target of its
+    samples -- exactly CART with variance-reduction splits.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 1,
+        min_gain: float = 0.0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.tree_: Optional[GradientTree] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        params = TreeGrowthParams(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            min_child_weight=0.0,
+            reg_lambda=0.0,
+            gamma=self.min_gain,
+        )
+        tree = GradientTree(params)
+        tree.fit_gradients(X, -y, np.ones_like(y))
+        self.tree_ = tree
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "tree_")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return self.tree_.predict(X)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        check_fitted(self, "tree_")
+        counts = self.tree_.feature_importances(self.n_features_in_)
+        total = counts.sum()
+        return counts / total if total > 0 else counts

@@ -1,0 +1,165 @@
+"""Latent-defect subpopulation: the Vmin outliers CQR must adapt to.
+
+A small fraction of manufactured automotive parts carry latent defects --
+resistive vias, marginal contacts, partially bridged nets -- that survive
+time-zero testing but raise SCAN Vmin, most visibly at cold (where drive
+current is weakest) and increasingly under stress (early-life failure
+mechanism; see He & Yu, ITC 2020, the paper's [1]).  These chips are why
+constant-width intervals either over-margin the normal population or
+under-cover the tail, which is the paper's core argument for CQR.
+
+The model: each chip is defective with probability ``defect_rate``;
+severity is log-normal; the Vmin penalty scales with a per-temperature
+factor and grows with stress time as ``1 + growth * sqrt(t/t_ref)``.
+A weak electrical signature couples into nearby CPD monitors and a
+handful of leakage channels so the defect is partially -- not fully --
+observable, as in real silicon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.models.base import check_random_state
+
+__all__ = ["DefectModel", "DefectPopulation"]
+
+
+class DefectModel:
+    """Sampler for per-chip latent defect states.
+
+    Parameters
+    ----------
+    defect_rate:
+        Fraction of chips carrying a latent defect.
+    severity_median_v:
+        Median time-zero Vmin penalty of a defective chip at 25 degC (V).
+    severity_log_sigma:
+        Log-normal sigma of the severity.
+    cold_factor / hot_factor:
+        Multipliers on the penalty at -45 degC / 125 degC relative to room.
+    growth:
+        Relative penalty growth over the full stress duration.
+    t_ref_hours:
+        Stress duration at which ``growth`` is reached.
+    """
+
+    def __init__(
+        self,
+        defect_rate: float = 0.05,
+        severity_median_v: float = 0.012,
+        severity_log_sigma: float = 0.5,
+        cold_factor: float = 1.6,
+        hot_factor: float = 1.15,
+        growth: float = 0.8,
+        t_ref_hours: float = 1008.0,
+    ) -> None:
+        if not 0.0 <= defect_rate < 1.0:
+            raise ValueError(f"defect_rate must be in [0, 1), got {defect_rate}")
+        for name, value in (
+            ("severity_median_v", severity_median_v),
+            ("severity_log_sigma", severity_log_sigma),
+            ("cold_factor", cold_factor),
+            ("hot_factor", hot_factor),
+            ("t_ref_hours", t_ref_hours),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if growth < 0:
+            raise ValueError(f"growth must be >= 0, got {growth}")
+        self.defect_rate = defect_rate
+        self.severity_median_v = severity_median_v
+        self.severity_log_sigma = severity_log_sigma
+        self.cold_factor = cold_factor
+        self.hot_factor = hot_factor
+        self.growth = growth
+        self.t_ref_hours = t_ref_hours
+
+    def sample(self, n_chips: int, rng) -> "DefectPopulation":
+        """Draw defect states for ``n_chips``."""
+        if n_chips < 1:
+            raise ValueError(f"n_chips must be >= 1, got {n_chips}")
+        rng = check_random_state(rng)
+        mask = rng.random(n_chips) < self.defect_rate
+        severity = np.where(
+            mask,
+            self.severity_median_v
+            * np.exp(rng.normal(0.0, self.severity_log_sigma, size=n_chips)),
+            0.0,
+        )
+        # Die location of the defect, for monitor-proximity coupling.
+        location = rng.uniform(-1.0, 1.0, size=(n_chips, 2))
+        return DefectPopulation(model=self, mask=mask, severity=severity, location=location)
+
+
+class DefectPopulation:
+    """Frozen defect states of a population."""
+
+    _TEMPERATURE_FACTORS: Dict[float, str] = {
+        -45.0: "cold_factor",
+        25.0: "room",
+        125.0: "hot_factor",
+    }
+
+    def __init__(
+        self,
+        model: DefectModel,
+        mask: np.ndarray,
+        severity: np.ndarray,
+        location: np.ndarray,
+    ) -> None:
+        if mask.ndim != 1 or severity.shape != mask.shape:
+            raise ValueError("mask and severity must be 1-D with equal shape")
+        if location.shape != (mask.shape[0], 2):
+            raise ValueError(
+                f"location must have shape ({mask.shape[0]}, 2), got {location.shape}"
+            )
+        self.model = model
+        self.mask = mask
+        self.severity = severity
+        self.location = location
+
+    @property
+    def n_chips(self) -> int:
+        return int(self.mask.shape[0])
+
+    @property
+    def n_defective(self) -> int:
+        return int(self.mask.sum())
+
+    def _temperature_factor(self, temperature_c: float) -> float:
+        kind = self._TEMPERATURE_FACTORS.get(float(temperature_c))
+        if kind is None:
+            raise ValueError(
+                f"temperature {temperature_c} degC is not an ATE corner; "
+                f"expected one of {sorted(self._TEMPERATURE_FACTORS)}"
+            )
+        if kind == "room":
+            return 1.0
+        return getattr(self.model, kind)
+
+    def vmin_penalty(self, temperature_c: float, hours: float) -> np.ndarray:
+        """Per-chip Vmin penalty (V) at a test corner and stress time."""
+        if hours < 0:
+            raise ValueError(f"hours must be >= 0, got {hours}")
+        factor = self._temperature_factor(temperature_c)
+        time_growth = 1.0 + self.model.growth * np.sqrt(hours / self.model.t_ref_hours)
+        return self.severity * factor * time_growth
+
+    def monitor_coupling(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Defect signature seen by monitors at die sites (chip, site).
+
+        Falls off with distance from the defect location with a Gaussian
+        kernel of scale 1.0 die units; healthy chips contribute zero.
+        Returned in volts of equivalent local Vth shift.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError("x and y must be 1-D arrays of equal length")
+        dx = x[None, :] - self.location[:, 0][:, None]
+        dy = y[None, :] - self.location[:, 1][:, None]
+        proximity = np.exp(-(dx**2 + dy**2) / (2.0 * 1.0**2))
+        return 1.5 * self.severity[:, None] * proximity

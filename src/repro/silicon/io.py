@@ -1,0 +1,160 @@
+"""Persistence for synthetic lots: share a dataset without sharing code.
+
+``SiliconDataset.generate`` is deterministic, but downstream users (and
+CI) often want a frozen artefact: the same matrices regardless of library
+version, loadable without re-running the generator.  This module
+round-trips the *measured* data (features + labels + minimal metadata)
+through a single compressed ``.npz`` file, and exports the burn-in flow
+log as CSV for spreadsheet/database ingestion.
+
+The latent ground truth (process state, defect severities) is
+intentionally **not** serialised: a persisted lot behaves like real
+silicon data — you get measurements, not the hidden truth.  The defect
+mask and true Vmin stay available only on freshly generated datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.silicon.ate import BurnInFlowSimulator
+from repro.silicon.dataset import SiliconDataset
+
+__all__ = ["export_flow_csv", "load_measurements", "save_measurements"]
+
+_FORMAT_VERSION = 1
+
+
+def save_measurements(dataset: SiliconDataset, path: Union[str, Path]) -> Path:
+    """Write the measured blocks of ``dataset`` to a compressed ``.npz``.
+
+    Saved content: parametric matrix + channel metadata, every ROD/CPD
+    block, every measured Vmin vector, and the read-point/temperature
+    axes.  Returns the resolved path.
+    """
+    path = Path(path)
+    arrays = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "read_points": np.asarray(dataset.read_points, dtype=np.int64),
+        "temperatures": np.asarray(dataset.temperatures, dtype=np.float64),
+        "parametric": dataset.parametric,
+        "parametric_names": np.asarray(dataset.parametric_names),
+        "parametric_temperatures": dataset.parametric_temperatures,
+        "rod_names": np.asarray(dataset.rod_names),
+        "cpd_names": np.asarray(dataset.cpd_names),
+    }
+    for hours in dataset.read_points:
+        arrays[f"rod_{hours}"] = dataset.rod[hours]
+        arrays[f"cpd_{hours}"] = dataset.cpd[hours]
+        for temperature in dataset.temperatures:
+            arrays[f"vmin_{temperature:g}_{hours}"] = dataset.vmin[
+                (temperature, hours)
+            ]
+    np.savez_compressed(path, **arrays)
+    return path.resolve()
+
+
+class _MeasurementOnlyPopulation:
+    """Sentinel standing in for the latent population of a loaded lot.
+
+    Any attribute access raises with a clear message: persisted datasets
+    carry measurements only (like real silicon data).
+    """
+
+    def __getattr__(self, name: str):
+        raise AttributeError(
+            "this SiliconDataset was loaded from disk and carries "
+            "measurements only; the latent population (ground truth, "
+            f"defect states) is not persisted (requested: {name!r})"
+        )
+
+
+def load_measurements(path: Union[str, Path]) -> SiliconDataset:
+    """Load a lot previously written by :func:`save_measurements`.
+
+    The returned dataset supports every measurement accessor
+    (``features``, ``target``, the raw blocks) but has no latent
+    population: ``true_vmin`` is empty and ``population`` raises on
+    access.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version}; "
+                f"this library reads version {_FORMAT_VERSION}"
+            )
+        read_points = tuple(int(h) for h in archive["read_points"])
+        temperatures = tuple(float(t) for t in archive["temperatures"])
+        rod = {hours: archive[f"rod_{hours}"] for hours in read_points}
+        cpd = {hours: archive[f"cpd_{hours}"] for hours in read_points}
+        vmin = {
+            (temperature, hours): archive[f"vmin_{temperature:g}_{hours}"]
+            for hours in read_points
+            for temperature in temperatures
+        }
+        dataset = SiliconDataset(
+            parametric=archive["parametric"],
+            parametric_names=[str(n) for n in archive["parametric_names"]],
+            parametric_temperatures=archive["parametric_temperatures"],
+            rod=rod,
+            rod_names=[str(n) for n in archive["rod_names"]],
+            cpd=cpd,
+            cpd_names=[str(n) for n in archive["cpd_names"]],
+            vmin=vmin,
+            true_vmin={},
+            population=_MeasurementOnlyPopulation(),  # type: ignore[arg-type]
+            read_points=read_points,
+            temperatures=temperatures,
+        )
+    return dataset
+
+
+def export_flow_csv(
+    dataset: SiliconDataset,
+    path: Union[str, Path],
+    include_parametric: bool = False,
+) -> int:
+    """Export the burn-in measurement log as CSV; returns the row count.
+
+    One row per measurement event (see
+    :class:`~repro.silicon.ate.MeasurementRecord`).  The parametric
+    insertion is off by default — 1800 channels x n chips dominates the
+    file without adding flow structure.
+    """
+    path = Path(path)
+    simulator = BurnInFlowSimulator(
+        dataset, include_parametric=include_parametric
+    )
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "read_point_hours",
+                "insertion",
+                "temperature_c",
+                "chip_index",
+                "channel",
+                "value",
+            ]
+        )
+        for record in simulator.run():
+            writer.writerow(
+                [
+                    record.read_point_hours,
+                    record.insertion,
+                    record.temperature_c,
+                    record.chip_index,
+                    record.channel,
+                    repr(record.value),
+                ]
+            )
+            count += 1
+    return count

@@ -1,0 +1,209 @@
+"""On-chip monitor response models: ROD and CPD sensor banks.
+
+The chip under study carries two monitor types (paper Section IV-A):
+
+* **ROD** -- 168 ring-oscillator-delay sensors, read on ATE at 25 degC at
+  every stress read point.  We model them as 8 gate flavours (SVT/LVT/HVT
+  style stacks with different Vth sensitivity) replicated at 21 die sites,
+  so the bank observes global process, within-die gradients, local
+  mismatch, and accumulated aging.
+* **CPD** -- 10 in-situ critical-path-delay sensors, read inside the
+  burn-in oven at 80 degC.  Each replica path sits at a die location and
+  additionally picks up a weak signature of a nearby latent defect -- the
+  channel through which interval predictors can partially see outliers.
+
+Delay response is first-order: ``delay = base * (1 + sens * v_eff / v0)``
+with ``v_eff`` the sum of the local effective Vth contributions, plus a
+per-reading measurement noise.  Readings are in picoseconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.base import check_random_state
+from repro.silicon.aging import AgedPopulation
+from repro.silicon.constants import (
+    CPD_TEMPERATURE_C,
+    N_CPD_SENSORS,
+    N_ROD_SENSORS,
+    ROD_TEMPERATURE_C,
+)
+from repro.silicon.defects import DefectPopulation
+from repro.silicon.process import ProcessSample, ProcessVariationModel
+
+__all__ = ["CPDSensorBank", "RODSensorBank"]
+
+_ROD_FLAVOURS = 8
+_ROD_SITES = N_ROD_SENSORS // _ROD_FLAVOURS  # 21 sites x 8 flavours = 168
+
+
+def _site_grid(n_sites: int, rng) -> np.ndarray:
+    """Quasi-uniform sensor placement over the normalised die [-1, 1]^2."""
+    side = int(np.ceil(np.sqrt(n_sites)))
+    coords = np.linspace(-0.9, 0.9, side)
+    grid = np.array([(x, y) for y in coords for x in coords])[:n_sites]
+    jitter = rng.uniform(-0.05, 0.05, size=grid.shape)
+    return grid + jitter
+
+
+class RODSensorBank:
+    """The 168-sensor ring-oscillator-delay bank.
+
+    Parameters
+    ----------
+    mismatch_sigma_v:
+        Local per-sensor random Vth mismatch (V), frozen per chip at
+        fabrication time.
+    noise_ps:
+        Per-reading measurement noise (ps).
+    aging_sensitivity:
+        Fraction of the chip's core ΔVth(t) the RO devices experience
+        (ROs share the stress but switch at their own activity).
+    """
+
+    def __init__(
+        self,
+        mismatch_sigma_v: float = 0.0025,
+        noise_ps: float = 0.25,
+        aging_sensitivity: float = 0.9,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if mismatch_sigma_v < 0 or noise_ps < 0:
+            raise ValueError("mismatch_sigma_v and noise_ps must be >= 0")
+        if not 0.0 <= aging_sensitivity <= 1.5:
+            raise ValueError(
+                f"aging_sensitivity must be in [0, 1.5], got {aging_sensitivity}"
+            )
+        self.mismatch_sigma_v = mismatch_sigma_v
+        self.noise_ps = noise_ps
+        self.aging_sensitivity = aging_sensitivity
+        self.random_state = random_state
+
+        rng = check_random_state(random_state)
+        self._sites = _site_grid(_ROD_SITES, rng)
+        # Flavour electrical signatures: base stage delay and Vth
+        # sensitivity (HVT-like flavours are slower and more sensitive).
+        self._base_delay_ps = rng.uniform(90.0, 380.0, size=_ROD_FLAVOURS)
+        self._vth_sensitivity = rng.uniform(0.8, 1.6, size=_ROD_FLAVOURS)
+        self._fabricated: Optional[np.ndarray] = None
+
+    @property
+    def n_sensors(self) -> int:
+        return N_ROD_SENSORS
+
+    @property
+    def temperature_c(self) -> float:
+        return ROD_TEMPERATURE_C
+
+    def sensor_names(self) -> List[str]:
+        """Stable channel names, flavour-major."""
+        return [
+            f"rod_f{flavour}_s{site:02d}"
+            for flavour in range(_ROD_FLAVOURS)
+            for site in range(_ROD_SITES)
+        ]
+
+    def fabricate(self, process: ProcessSample, rng) -> None:
+        """Freeze per-chip, per-sensor local mismatch at fabrication."""
+        rng = check_random_state(rng)
+        model = ProcessVariationModel()
+        self._fabricated = model.mismatch(
+            process.n_chips, self.n_sensors, self.mismatch_sigma_v, rng
+        )
+        self._process = process
+
+    def read(self, aging: AgedPopulation, hours: float, rng) -> np.ndarray:
+        """One ATE reading of every sensor: (n_chips, 168) delays in ps.
+
+        The reading reflects the chip state *at* the given stress read
+        point: systematic Vth at each site + frozen mismatch + the aged
+        ΔVth, plus fresh measurement noise per reading.
+        """
+        if self._fabricated is None:
+            raise RuntimeError("call fabricate() before read()")
+        rng = check_random_state(rng)
+        x = np.tile(self._sites[:, 0], _ROD_FLAVOURS)
+        y = np.tile(self._sites[:, 1], _ROD_FLAVOURS)
+        local_vth = self._process.local_vth(x, y) + self._fabricated
+        aged = self.aging_sensitivity * aging.vth_shift_at(hours)
+        v_eff = local_vth + aged[:, None]
+
+        base = np.repeat(self._base_delay_ps, _ROD_SITES)[None, :]
+        sensitivity = np.repeat(self._vth_sensitivity, _ROD_SITES)[None, :]
+        # 100 mV of Vth moves delay by sens * ~33 %: a strong, realistic knob.
+        delay = base * (1.0 + sensitivity * v_eff / 0.3)
+        noise = rng.normal(0.0, self.noise_ps, size=delay.shape)
+        return delay + noise
+
+
+class CPDSensorBank:
+    """The 10-path in-situ critical-path-delay bank (80 degC, in oven).
+
+    Each path replica has its own base delay, Vth sensitivity, die
+    location, and defect-proximity coupling; aging is observed at full
+    strength because the replicas toggle with the mission workload.
+    """
+
+    def __init__(
+        self,
+        mismatch_sigma_v: float = 0.0030,
+        noise_ps: float = 1.5,
+        aging_sensitivity: float = 1.0,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if mismatch_sigma_v < 0 or noise_ps < 0:
+            raise ValueError("mismatch_sigma_v and noise_ps must be >= 0")
+        self.mismatch_sigma_v = mismatch_sigma_v
+        self.noise_ps = noise_ps
+        self.aging_sensitivity = aging_sensitivity
+        self.random_state = random_state
+
+        rng = check_random_state(random_state)
+        self._sites = _site_grid(N_CPD_SENSORS, rng)
+        self._base_delay_ps = rng.uniform(600.0, 900.0, size=N_CPD_SENSORS)
+        self._vth_sensitivity = rng.uniform(1.0, 1.4, size=N_CPD_SENSORS)
+        self._fabricated: Optional[np.ndarray] = None
+
+    @property
+    def n_sensors(self) -> int:
+        return N_CPD_SENSORS
+
+    @property
+    def temperature_c(self) -> float:
+        return CPD_TEMPERATURE_C
+
+    def sensor_names(self) -> List[str]:
+        return [f"cpd_p{path}" for path in range(N_CPD_SENSORS)]
+
+    def fabricate(
+        self, process: ProcessSample, defects: DefectPopulation, rng
+    ) -> None:
+        """Freeze local mismatch and bind the defect population."""
+        rng = check_random_state(rng)
+        model = ProcessVariationModel()
+        self._fabricated = model.mismatch(
+            process.n_chips, self.n_sensors, self.mismatch_sigma_v, rng
+        )
+        self._process = process
+        self._defects = defects
+
+    def read(self, aging: AgedPopulation, hours: float, rng) -> np.ndarray:
+        """One in-situ reading: (n_chips, 10) path delays in ps."""
+        if self._fabricated is None:
+            raise RuntimeError("call fabricate() before read()")
+        rng = check_random_state(rng)
+        x = self._sites[:, 0]
+        y = self._sites[:, 1]
+        local_vth = self._process.local_vth(x, y) + self._fabricated
+        defect_vth = self._defects.monitor_coupling(x, y)
+        aged = self.aging_sensitivity * aging.vth_shift_at(hours)
+        v_eff = local_vth + defect_vth + aged[:, None]
+
+        delay = self._base_delay_ps[None, :] * (
+            1.0 + self._vth_sensitivity[None, :] * v_eff / 0.3
+        )
+        noise = rng.normal(0.0, self.noise_ps, size=delay.shape)
+        return delay + noise

@@ -1,0 +1,102 @@
+"""Tests for online adaptive conformal inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveConformalPredictor
+from repro.models.linear import QuantileLinearRegression
+
+
+@pytest.fixture()
+def stream(rng):
+    X = rng.normal(size=(600, 2))
+    y = X[:, 0] + rng.normal(scale=0.3, size=600)
+    return X, y
+
+
+class TestAdaptive:
+    def test_alpha_drops_after_misses(self, stream):
+        X, y = stream
+        aci = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.05
+        ).fit(X[:200], y[:200])
+        # Feed labels shifted far outside the intervals: every miss should
+        # push alpha_t down (widening future intervals).
+        aci.update(X[200:220], y[200:220] + 100.0)
+        assert aci.alpha_t < 0.1
+
+    def test_alpha_rises_when_over_covering(self, stream):
+        X, y = stream
+        aci = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.05
+        ).fit(X[:200], y[:200])
+        aci.update(X[200:220], y[200:220] * 0.0)  # all inside? not guaranteed
+        # After observing all-covered points alpha_t moves up by gamma*alpha each.
+        aci2 = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.05
+        ).fit(X[:200], y[:200])
+        intervals = aci2.predict_interval(X[200:210])
+        centred = intervals.midpoint
+        aci2.update(X[200:210], centred)  # midpoints always covered
+        assert aci2.alpha_t > 0.1
+
+    def test_long_run_coverage_under_drift(self, rng):
+        """Under a mean shift mid-stream, long-run coverage stays near the
+        target thanks to the alpha feedback."""
+        n = 900
+        X = rng.normal(size=(n, 2))
+        y = X[:, 0] + rng.normal(scale=0.3, size=n)
+        y[450:] += 1.5  # abrupt in-field drift
+        aci = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.05
+        ).fit(X[:300], y[:300])
+        for start in range(300, n, 30):
+            aci.update(X[start : start + 30], y[start : start + 30])
+        assert aci.long_run_coverage() >= 0.8
+
+    def test_gamma_zero_keeps_alpha_fixed(self, stream):
+        X, y = stream
+        aci = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.0
+        ).fit(X[:200], y[:200])
+        aci.update(X[200:260], y[200:260])
+        assert aci.alpha_t == pytest.approx(0.1)
+
+    def test_window_limits_history(self, stream):
+        X, y = stream
+        aci = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.02, window=50
+        ).fit(X[:200], y[:200])
+        aci.update(X[200:400], y[200:400])
+        assert aci._current_scores().size == 50
+
+    def test_history_recorded(self, stream):
+        X, y = stream
+        aci = AdaptiveConformalPredictor(
+            QuantileLinearRegression(), alpha=0.1, gamma=0.05
+        ).fit(X[:200], y[:200])
+        aci.update(X[200:230], y[200:230])
+        assert len(aci.error_history_) == 30
+        assert len(aci.alpha_history_) == 31  # initial + 30 updates
+
+    def test_unfitted_raises(self):
+        aci = AdaptiveConformalPredictor(QuantileLinearRegression())
+        with pytest.raises(RuntimeError):
+            aci.predict_interval(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            _ = aci.alpha_t
+
+    def test_no_updates_coverage_raises(self, stream):
+        X, y = stream
+        aci = AdaptiveConformalPredictor(QuantileLinearRegression()).fit(
+            X[:100], y[:100]
+        )
+        with pytest.raises(RuntimeError, match="no updates"):
+            aci.long_run_coverage()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"alpha": 0.0}, {"gamma": -0.1}, {"window": 0}]
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveConformalPredictor(QuantileLinearRegression(), **kwargs)

@@ -1,0 +1,120 @@
+"""Tests for guard-banded Vmin binning."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import PredictionIntervals
+from repro.flow.binning import (
+    UNBINNABLE,
+    VminBinningPolicy,
+    optimize_guard_band,
+)
+
+BINS = (0.58, 0.61, 0.65, 0.72)
+
+
+def _intervals(uppers, width=0.02):
+    uppers = np.asarray(uppers, dtype=np.float64)
+    return PredictionIntervals(uppers - width, uppers)
+
+
+class TestAssignment:
+    def test_lowest_safe_bin_chosen(self):
+        policy = VminBinningPolicy(BINS)
+        intervals = _intervals([0.57, 0.60, 0.62, 0.70])
+        np.testing.assert_array_equal(policy.assign(intervals), [0, 1, 2, 3])
+
+    def test_exact_boundary_fits(self):
+        policy = VminBinningPolicy(BINS)
+        intervals = _intervals([0.61])
+        assert policy.assign(intervals)[0] == 1
+
+    def test_guard_band_pushes_up_a_bin(self):
+        policy = VminBinningPolicy(BINS, guard_band_v=0.005)
+        intervals = _intervals([0.608])
+        assert policy.assign(intervals)[0] == 2  # 0.608 + 0.005 > 0.61
+
+    def test_unbinnable_when_above_all_bins(self):
+        policy = VminBinningPolicy(BINS)
+        intervals = _intervals([0.75])
+        assert policy.assign(intervals)[0] == UNBINNABLE
+
+    def test_oracle_ignores_guard_band(self):
+        policy = VminBinningPolicy(BINS, guard_band_v=0.05)
+        oracle = policy.assign_oracle(np.array([0.60]))
+        assert oracle[0] == 1
+
+    def test_unsorted_input_voltages_sorted(self):
+        policy = VminBinningPolicy((0.72, 0.58, 0.65, 0.61))
+        np.testing.assert_allclose(policy.bin_voltages, sorted(BINS))
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            VminBinningPolicy((0.6, 0.6))
+        with pytest.raises(ValueError):
+            VminBinningPolicy(())
+        with pytest.raises(ValueError):
+            VminBinningPolicy(BINS, guard_band_v=-0.01)
+
+
+class TestEvaluate:
+    def test_escape_accounting(self):
+        policy = VminBinningPolicy(BINS)
+        intervals = _intervals([0.60, 0.60])
+        truth = np.array([0.59, 0.62])  # second chip under-volted at 610mV bin
+        outcome = policy.evaluate(intervals, truth)
+        assert outcome.escape_rate == pytest.approx(0.5)
+
+    def test_coverage_bounds_escapes(self, rng):
+        """If intervals cover the truth, escapes are impossible."""
+        truth = rng.uniform(0.55, 0.70, size=200)
+        intervals = PredictionIntervals(truth - 0.01, truth + 0.01)
+        outcome = VminBinningPolicy(BINS).evaluate(intervals, truth)
+        assert outcome.escape_rate == 0.0
+
+    def test_power_overhead_nonnegative_vs_oracle(self, rng):
+        truth = rng.uniform(0.55, 0.70, size=300)
+        intervals = PredictionIntervals(truth - 0.005, truth + 0.015)
+        outcome = VminBinningPolicy(BINS).evaluate(intervals, truth)
+        assert outcome.power_overhead >= -1e-12
+        assert outcome.mean_voltage >= outcome.oracle_mean_voltage - 1e-12
+
+    def test_unbinnable_fraction(self):
+        policy = VminBinningPolicy(BINS)
+        intervals = _intervals([0.60, 0.90])
+        outcome = policy.evaluate(intervals, np.array([0.59, 0.89]))
+        assert outcome.unbinnable_fraction == pytest.approx(0.5)
+
+    def test_rejects_shape_mismatch(self):
+        policy = VminBinningPolicy(BINS)
+        with pytest.raises(ValueError, match="shape"):
+            policy.evaluate(_intervals([0.6]), np.zeros(3))
+
+
+class TestGuardBandOptimizer:
+    def test_high_escape_cost_prefers_bigger_guard(self, rng):
+        truth = rng.uniform(0.56, 0.70, size=400)
+        # Systematically optimistic intervals: upper bound below truth often.
+        intervals = PredictionIntervals(truth - 0.03, truth - 0.002)
+        cheap_escape, _ = optimize_guard_band(
+            intervals, truth, BINS, escape_cost=0.001, power_cost=1.0
+        )
+        dear_escape, _ = optimize_guard_band(
+            intervals, truth, BINS, escape_cost=1000.0, power_cost=1.0
+        )
+        assert dear_escape >= cheap_escape
+
+    def test_returns_candidate_from_grid(self, rng):
+        truth = rng.uniform(0.56, 0.70, size=100)
+        intervals = PredictionIntervals(truth - 0.02, truth + 0.01)
+        guard, cost = optimize_guard_band(
+            intervals, truth, BINS, candidates=(0.0, 0.004)
+        )
+        assert guard in (0.0, 0.004)
+        assert np.isfinite(cost)
+
+    def test_rejects_negative_costs(self, rng):
+        truth = rng.uniform(0.56, 0.70, size=10)
+        intervals = PredictionIntervals(truth - 0.02, truth + 0.01)
+        with pytest.raises(ValueError):
+            optimize_guard_band(intervals, truth, BINS, escape_cost=-1.0)

@@ -1,0 +1,110 @@
+"""Tests for the finite-sample conformal quantile (Eq. 7/9 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import (
+    conformal_quantile,
+    effective_coverage_level,
+    required_calibration_size,
+)
+
+
+class TestConformalQuantile:
+    def test_exact_small_case(self):
+        # M=9, alpha=0.1: rank = ceil(10*0.9) = 9 -> 9th smallest = max.
+        scores = np.arange(1.0, 10.0)
+        assert conformal_quantile(scores, 0.1) == 9.0
+
+    def test_rank_formula_mid_alpha(self):
+        # M=10, alpha=0.5: rank = ceil(11*0.5) = 6 -> 6th smallest.
+        scores = np.arange(10.0)
+        assert conformal_quantile(scores, 0.5) == 5.0
+
+    def test_infinite_when_calibration_too_small(self):
+        # M=5, alpha=0.1: rank = ceil(6*0.9) = 6 > 5 -> +inf.
+        assert conformal_quantile(np.arange(5.0), 0.1) == float("inf")
+
+    def test_unsorted_input_handled(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        assert conformal_quantile(scores, 0.5) == 2.0
+
+    def test_negative_scores_allowed(self):
+        # CQR scores can be negative (band shrinkage).
+        scores = np.array([-5.0, -3.0, -2.0, -1.0, 0.5, 1.0, 2.0, 3.0, 4.0])
+        assert conformal_quantile(scores, 0.1) == 4.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            conformal_quantile(np.array([]), 0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            conformal_quantile(np.array([1.0, np.nan]), 0.1)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            conformal_quantile(np.arange(10.0), alpha)
+
+    @given(
+        m=st.integers(1, 200),
+        alpha=st.floats(0.01, 0.5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=80)
+    def test_rank_property(self, m, alpha, seed):
+        """The returned value is the ceil((M+1)(1-alpha))-th order statistic
+        whenever that rank exists; at least rank scores are <= it."""
+        scores = np.random.default_rng(seed).normal(size=m)
+        rank = math.ceil((m + 1) * (1 - alpha))
+        q = conformal_quantile(scores, alpha)
+        if rank > m:
+            assert q == float("inf")
+        else:
+            assert np.sum(scores <= q) >= rank
+            assert q in scores
+
+
+class TestCoverageArithmetic:
+    def test_effective_level_exceeds_nominal(self):
+        for m in (9, 29, 100):
+            assert effective_coverage_level(m, 0.1) >= 0.9
+
+    def test_effective_level_converges(self):
+        assert effective_coverage_level(10_000, 0.1) == pytest.approx(0.9, abs=1e-3)
+
+    def test_effective_level_capped_at_one(self):
+        assert effective_coverage_level(3, 0.1) == 1.0
+
+    def test_required_size_at_paper_alpha(self):
+        assert required_calibration_size(0.1) == 9
+
+    def test_required_size_matches_finiteness(self):
+        for alpha in (0.05, 0.1, 0.25):
+            m = required_calibration_size(alpha)
+            assert conformal_quantile(np.arange(float(m)), alpha) < float("inf")
+            if m > 1:
+                assert conformal_quantile(np.arange(float(m - 1)), alpha) == float("inf")
+
+
+class TestMonteCarloGuarantee:
+    def test_split_quantile_covers_fresh_point(self):
+        """Core conformal property: for iid scores, a fresh score falls at
+        or below the conformal quantile with probability >= 1 - alpha."""
+        rng = np.random.default_rng(42)
+        alpha = 0.2
+        hits = 0
+        trials = 3000
+        for _ in range(trials):
+            scores = rng.exponential(size=20)
+            fresh = rng.exponential()
+            if fresh <= conformal_quantile(scores, alpha):
+                hits += 1
+        coverage = hits / trials
+        # Expected >= 0.8; binomial std ~ 0.007 -> allow 4 sigma below.
+        assert coverage >= 0.8 - 0.03

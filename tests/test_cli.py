@@ -1,0 +1,99 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+
+
+class TestGenerate:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        code = main(["generate", str(path), "--chips", "20", "--seed", "3"])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "20 chips" in out and "measurements written" in out
+
+    def test_flow_csv_option(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        csv_path = tmp_path / "flow.csv"
+        code = main(
+            [
+                "generate",
+                str(path),
+                "--chips",
+                "10",
+                "--flow-csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+
+
+class TestInfo:
+    def test_describes_saved_lot(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        main(["generate", str(path), "--chips", "12"])
+        capsys.readouterr()
+        code = main(["info", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chips        : 12" in out
+        assert "Vmin @" in out
+
+
+class TestPredict:
+    def test_predict_on_saved_lot(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        main(["generate", str(path), "--chips", "80", "--seed", "1"])
+        capsys.readouterr()
+        code = main(
+            [
+                "predict",
+                "--dataset",
+                str(path),
+                "--trees",
+                "10",
+                "--temperature",
+                "25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "mV" in out
+
+    def test_bad_read_point_is_error(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        main(["generate", str(path), "--chips", "10"])
+        capsys.readouterr()
+        code = main(["predict", "--dataset", str(path), "--hours", "77"])
+        assert code == 2
+        assert "read point" in capsys.readouterr().err
+
+    def test_bad_temperature_is_error(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        main(["generate", str(path), "--chips", "10"])
+        capsys.readouterr()
+        code = main(
+            ["predict", "--dataset", str(path), "--temperature", "60", "--trees", "5"]
+        )
+        assert code == 2
+
+    def test_bad_holdout_is_error(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        main(["generate", str(path), "--chips", "10"])
+        capsys.readouterr()
+        code = main(
+            ["predict", "--dataset", str(path), "--holdout", "0.99", "--trees", "5"]
+        )
+        assert code == 2
+
+    def test_tiny_calibration_is_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "lot.npz"
+        main(["generate", str(path), "--chips", "20"])
+        capsys.readouterr()
+        code = main(["predict", "--dataset", str(path), "--trees", "5"])
+        assert code == 2
+        assert "too small" in capsys.readouterr().err

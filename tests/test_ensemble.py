@@ -1,0 +1,84 @@
+"""Tests for the deep-ensemble UQ baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models.ensemble import DeepEnsembleRegressor
+from repro.models.linear import LinearRegression
+from repro.models.nn import MLPRegressor
+
+
+@pytest.fixture()
+def data(rng):
+    X = rng.normal(size=(120, 2))
+    y = X[:, 0] + rng.normal(scale=0.2, size=120)
+    return X, y
+
+
+def _fast_template():
+    return MLPRegressor(epochs=80, random_state=0)
+
+
+class TestDeepEnsemble:
+    def test_members_have_distinct_seeds(self, data):
+        X, y = data
+        ensemble = DeepEnsembleRegressor(_fast_template(), n_members=3, random_state=0)
+        ensemble.fit(X, y)
+        seeds = {member.random_state for member in ensemble.members_}
+        assert len(seeds) == 3
+
+    def test_mean_prediction_reasonable(self, data):
+        X, y = data
+        ensemble = DeepEnsembleRegressor(
+            _fast_template(), n_members=3, random_state=0
+        ).fit(X, y)
+        assert ensemble.score(X, y) > 0.8
+
+    def test_std_positive_with_noise_floor(self, data):
+        X, y = data
+        ensemble = DeepEnsembleRegressor(
+            _fast_template(), n_members=3, random_state=0
+        ).fit(X, y)
+        _, std = ensemble.predict(X, return_std=True)
+        assert np.all(std > 0)
+        assert ensemble.noise_std_ > 0
+
+    def test_interval_monotone_in_alpha(self, data):
+        X, y = data
+        ensemble = DeepEnsembleRegressor(
+            _fast_template(), n_members=2, random_state=0
+        ).fit(X, y)
+        lo90, hi90 = ensemble.predict_interval(X, alpha=0.1)
+        lo50, hi50 = ensemble.predict_interval(X, alpha=0.5)
+        assert np.all(hi90 - lo90 >= hi50 - lo50)
+
+    def test_default_template_is_paper_mlp(self):
+        ensemble = DeepEnsembleRegressor(random_state=0)
+        assert ensemble.template is None  # resolved lazily at fit
+
+    def test_works_with_seedless_template(self, data):
+        X, y = data
+        ensemble = DeepEnsembleRegressor(
+            LinearRegression(), n_members=2, random_state=0
+        ).fit(X, y)
+        # Identical members: epistemic spread 0, noise floor still > 0.
+        _, std = ensemble.predict(X, return_std=True)
+        assert np.all(std > 0)
+
+    def test_deterministic_given_seed(self, data):
+        X, y = data
+        a = DeepEnsembleRegressor(_fast_template(), n_members=2, random_state=4).fit(X, y)
+        b = DeepEnsembleRegressor(_fast_template(), n_members=2, random_state=4).fit(X, y)
+        np.testing.assert_allclose(a.predict(X), b.predict(X))
+
+    def test_rejects_small_ensemble(self):
+        with pytest.raises(ValueError, match="n_members"):
+            DeepEnsembleRegressor(n_members=1)
+
+    def test_interval_rejects_bad_alpha(self, data):
+        X, y = data
+        ensemble = DeepEnsembleRegressor(
+            LinearRegression(), n_members=2, random_state=0
+        ).fit(X, y)
+        with pytest.raises(ValueError, match="alpha"):
+            ensemble.predict_interval(X, alpha=2.0)

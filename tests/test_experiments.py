@@ -1,0 +1,136 @@
+"""Tests for the experiment registry (smoke-profile runs + shape checks).
+
+These tests exercise the same code paths as the benchmark harness but at
+the smallest budgets; the *qualitative* paper shapes asserted here are
+the contract EXPERIMENTS.md documents.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentProfile,
+    FeatureSet,
+    POINT_MODEL_NAMES,
+    REGION_METHOD_NAMES,
+    run_point_experiment,
+    run_region_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return ExperimentProfile.smoke()
+
+
+class TestProfiles:
+    def test_from_name_round_trip(self):
+        assert ExperimentProfile.from_name("full") == ExperimentProfile.full()
+        assert ExperimentProfile.from_name("fast").nn_epochs < 3000
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            ExperimentProfile.from_name("turbo")
+
+    def test_full_profile_is_paper_exact(self):
+        profile = ExperimentProfile.full()
+        assert profile.nn_epochs == 3000
+        assert profile.xgb_estimators == 100
+        assert profile.catboost_estimators == 100
+        assert profile.cfs_k_values == tuple(range(1, 11))
+        assert profile.n_folds == 4
+
+
+class TestFeatureSet:
+    def test_flags(self):
+        assert FeatureSet.BOTH.include_parametric and FeatureSet.BOTH.include_onchip
+        assert not FeatureSet.ONCHIP.include_parametric
+        assert not FeatureSet.PARAMETRIC.include_onchip
+
+
+class TestPointExperiments:
+    @pytest.mark.parametrize("model", POINT_MODEL_NAMES)
+    def test_every_model_runs(self, lot, profile, model):
+        result = run_point_experiment(lot, model, 25.0, 0, profile=profile)
+        assert result.n_folds == profile.n_folds
+        assert np.isfinite(result.r2)
+        assert result.rmse > 0
+
+    def test_lr_is_competitive(self, lot, profile):
+        """Paper Section IV-D: LR is a competitive point predictor."""
+        lr = run_point_experiment(lot, "LR", 25.0, 0, profile=profile)
+        assert lr.r2 > 0.5
+
+    def test_rmse_in_paper_ballpark(self, lot, profile):
+        """Section IV-D quotes 2.5-7 mV for the non-GP models."""
+        lr = run_point_experiment(lot, "LR", 25.0, 0, profile=profile)
+        assert 1.0 < lr.rmse < 15.0  # mV
+
+    def test_unknown_model_rejected(self, lot, profile):
+        with pytest.raises(ValueError, match="unknown point model"):
+            run_point_experiment(lot, "SVM", 25.0, 0, profile=profile)
+
+    def test_degradation_prediction_runs(self, lot, profile):
+        result = run_point_experiment(lot, "LR", 25.0, 1008, profile=profile)
+        assert result.r2 > 0.3  # monitors keep late Vmin predictable
+
+
+class TestRegionExperiments:
+    @pytest.mark.parametrize("method", ["GP", "QR LR", "CQR LR"])
+    def test_cheap_methods_run(self, lot, profile, method):
+        result = run_region_experiment(lot, method, 25.0, 0, profile=profile)
+        assert result.width > 0
+        assert 0.0 <= result.coverage <= 1.0
+
+    def test_unknown_method_rejected(self, lot, profile):
+        with pytest.raises(ValueError, match="unknown region method"):
+            run_region_experiment(lot, "CQR SVM", 25.0, 0, profile=profile)
+
+    def test_cqr_improves_qr_coverage(self, lot, profile):
+        """The paper's headline: conformalizing QR restores coverage."""
+        qr = run_region_experiment(lot, "QR LR", 25.0, 0, profile=profile)
+        cqr = run_region_experiment(lot, "CQR LR", 25.0, 0, profile=profile)
+        assert cqr.coverage > qr.coverage
+
+    def test_qr_catboost_collapse_shape(self, lot, profile):
+        """Package-default CatBoost quantiles produce the pathological
+        narrow, drastically under-covered band of Table III."""
+        result = run_region_experiment(lot, "QR CatBoost", 25.0, 0, profile=profile)
+        assert result.width < 6.0  # mV; paper ~1-2.5
+        assert result.coverage < 0.5
+
+    def test_cqr_catboost_recovers_coverage(self, lot, profile):
+        result = run_region_experiment(lot, "CQR CatBoost", 25.0, 0, profile=profile)
+        assert result.coverage > 0.75
+
+    def test_trap_ablation_changes_qr_band(self, lot, profile):
+        proper = dataclasses.replace(profile, catboost_quantile_trap=False)
+        trap = run_region_experiment(lot, "QR CatBoost", 25.0, 0, profile=profile)
+        fixed = run_region_experiment(lot, "QR CatBoost", 25.0, 0, profile=proper)
+        assert fixed.width > 3.0 * trap.width
+
+    def test_onchip_features_shrink_cqr_intervals(self, lot, profile):
+        """Table IV shape: monitors + parametric beats parametric alone."""
+        both = run_region_experiment(
+            lot, "CQR LR", 25.0, 1008, feature_set=FeatureSet.BOTH, profile=profile
+        )
+        parametric = run_region_experiment(
+            lot,
+            "CQR LR",
+            25.0,
+            1008,
+            feature_set=FeatureSet.PARAMETRIC,
+            profile=profile,
+        )
+        assert both.width < parametric.width * 1.1  # allow small-noise slack
+
+    def test_alpha_widens_intervals(self, lot, profile):
+        strict = run_region_experiment(
+            lot, "CQR LR", 25.0, 0, alpha=0.05, profile=profile
+        )
+        loose = run_region_experiment(
+            lot, "CQR LR", 25.0, 0, alpha=0.3, profile=profile
+        )
+        assert strict.width > loose.width

@@ -1,0 +1,249 @@
+"""Tests for correlation utilities, CFS, and selection wrappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.cfs import CFSSelector, cfs_merit
+from repro.features.correlation import (
+    feature_feature_correlation,
+    feature_target_correlation,
+    pearson_correlation,
+    spearman_correlation,
+)
+from repro.features.selection import (
+    BestKSweepSelector,
+    CFSSelectedRegressor,
+    SelectKBest,
+)
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        a = np.arange(10.0)
+        assert pearson_correlation(a, 2 * a + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        a = np.arange(10.0)
+        assert pearson_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self, rng):
+        a, b = rng.normal(size=(2, 50))
+        assert pearson_correlation(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(2, 20))
+        assert -1.0 - 1e-9 <= pearson_correlation(a, b) <= 1.0 + 1e-9
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        a = np.arange(1.0, 20.0)
+        assert spearman_correlation(a, a**3) == pytest.approx(1.0)
+
+    def test_constant_gives_zero(self):
+        assert spearman_correlation(np.ones(6), np.arange(6.0)) == 0.0
+
+
+class TestVectorisedCorrelation:
+    def test_feature_target_matches_scalar(self, rng):
+        X = rng.normal(size=(40, 5))
+        y = rng.normal(size=40)
+        vectorised = feature_target_correlation(X, y)
+        for j in range(5):
+            assert vectorised[j] == pytest.approx(pearson_correlation(X[:, j], y))
+
+    def test_dead_columns_get_zero(self, rng):
+        X = np.column_stack([rng.normal(size=20), np.full(20, 3.0)])
+        corr = feature_target_correlation(X, rng.normal(size=20))
+        assert corr[1] == 0.0
+
+    def test_constant_target_gives_zeros(self, rng):
+        X = rng.normal(size=(20, 3))
+        np.testing.assert_array_equal(
+            feature_target_correlation(X, np.ones(20)), 0.0
+        )
+
+    def test_feature_feature_symmetric_unit_diag(self, rng):
+        X = rng.normal(size=(30, 6))
+        corr = feature_feature_correlation(X, np.arange(4))
+        np.testing.assert_allclose(corr, corr.T)
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_spearman_mode(self, rng):
+        X = np.exp(rng.normal(size=(50, 2)))
+        y = X[:, 0] ** 2
+        corr = feature_target_correlation(X, y, method="spearman")
+        assert corr[0] == pytest.approx(1.0)
+
+    def test_rejects_unknown_method(self, rng):
+        with pytest.raises(ValueError, match="method"):
+            feature_target_correlation(np.ones((5, 2)), np.arange(5.0), method="kendall")
+
+
+class TestCFSMerit:
+    def test_single_feature_merit_is_rfy(self):
+        assert cfs_merit(0.8, 0.0, 1) == pytest.approx(0.8)
+
+    def test_redundancy_lowers_merit(self):
+        independent = cfs_merit(0.8, 0.0, 4)
+        redundant = cfs_merit(0.8, 0.9, 4)
+        assert independent > redundant
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k"):
+            cfs_merit(0.5, 0.1, 0)
+
+    def test_rejects_negative_correlation(self):
+        with pytest.raises(ValueError):
+            cfs_merit(-0.1, 0.0, 2)
+
+
+class TestCFSSelector:
+    def test_picks_informative_feature_first(self, rng):
+        X = rng.normal(size=(200, 10))
+        y = 3.0 * X[:, 4] + rng.normal(scale=0.1, size=200)
+        selector = CFSSelector(k_max=3).fit(X, y)
+        assert selector.selected_[0] == 4
+
+    def test_prefers_complementary_over_duplicate(self, rng):
+        signal_a = rng.normal(size=300)
+        signal_b = rng.normal(size=300)
+        y = signal_a + signal_b
+        X = np.column_stack(
+            [signal_a, signal_a + rng.normal(scale=0.01, size=300), signal_b]
+        )
+        selector = CFSSelector(k_max=2).fit(X, y)
+        # Columns 0 and 1 are interchangeable duplicates; the essential
+        # behaviour is that the second pick is the complementary signal
+        # (column 2), not the redundant twin.
+        assert 2 in selector.selected_
+        assert not {0, 1} <= set(selector.selected_)
+
+    def test_subset_prefix_property(self, lot):
+        X, _ = lot.features(0)
+        y = lot.target(25.0, 0)
+        selector = CFSSelector(k_max=6).fit(X[:100], y[:100])
+        assert selector.subset(3) == selector.selected_[:3]
+
+    def test_merits_recorded_per_size(self, rng):
+        X = rng.normal(size=(100, 8))
+        y = X[:, 0] + rng.normal(size=100)
+        selector = CFSSelector(k_max=4).fit(X, y)
+        assert len(selector.merits_) == len(selector.selected_) == 4
+
+    def test_transform_projects_columns(self, rng):
+        X = rng.normal(size=(50, 6))
+        y = X[:, 2] + rng.normal(scale=0.1, size=50)
+        selector = CFSSelector(k_max=2).fit(X, y)
+        out = selector.transform(X, k=1)
+        np.testing.assert_array_equal(out[:, 0], X[:, selector.selected_[0]])
+
+    def test_subset_rejects_out_of_range(self, rng):
+        X = rng.normal(size=(30, 3))
+        selector = CFSSelector(k_max=2).fit(X, rng.normal(size=30))
+        with pytest.raises(ValueError):
+            selector.subset(5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CFSSelector().subset(1)
+
+
+class TestSelectKBest:
+    def test_keeps_top_correlated(self, rng):
+        X = rng.normal(size=(150, 5))
+        y = X[:, 1] * 4 + X[:, 3] + rng.normal(scale=0.2, size=150)
+        selector = SelectKBest(k=2).fit(X, y)
+        assert set(selector.selected_) == {1, 3}
+
+    def test_k_clamped_to_width(self, rng):
+        X = rng.normal(size=(20, 3))
+        selector = SelectKBest(k=10).fit(X, rng.normal(size=20))
+        assert selector.selected_.size == 3
+
+    def test_transform_shape(self, rng):
+        X = rng.normal(size=(20, 6))
+        out = SelectKBest(k=4).fit_transform(X, rng.normal(size=20))
+        assert out.shape == (20, 4)
+
+
+class TestBestKSweep:
+    def test_chooses_small_k_for_single_signal(self, rng):
+        X = rng.normal(size=(200, 12))
+        y = 2.0 * X[:, 0] + rng.normal(scale=0.05, size=200)
+        sweep = BestKSweepSelector(
+            LinearRegression, k_range=(1, 3, 6), random_state=0
+        ).fit(X, y)
+        assert 0 in sweep.selected_
+        assert len(sweep.sweep_scores_) == 3
+
+    def test_rejects_empty_k_range(self):
+        with pytest.raises(ValueError):
+            BestKSweepSelector(LinearRegression, k_range=())
+
+
+class TestCFSSelectedRegressor:
+    def test_selection_happens_inside_fit(self, rng):
+        X = rng.normal(size=(100, 30))
+        y = X[:, 9] * 2 + rng.normal(scale=0.1, size=100)
+        model = CFSSelectedRegressor(LinearRegression(), k=3).fit(X, y)
+        assert 9 in model.selector_.selected_
+        assert model.score(X, y) > 0.9
+
+    def test_clone_with_quantile_retargets_inner_model(self, rng):
+        from repro.models.base import clone
+
+        template = CFSSelectedRegressor(
+            QuantileLinearRegression(), k=2, quantile=0.5
+        )
+        low = clone(template, quantile=0.05)
+        X = rng.normal(size=(80, 5))
+        y = X[:, 0] + rng.normal(size=80)
+        low.fit(X, y)
+        assert low.model_.quantile == 0.05
+
+    def test_predict_interval_requires_capable_inner(self, rng):
+        X = rng.normal(size=(40, 4))
+        y = rng.normal(size=40)
+        model = CFSSelectedRegressor(LinearRegression(), k=2).fit(X, y)
+        with pytest.raises(TypeError, match="predict_interval"):
+            model.predict_interval(X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CFSSelectedRegressor(LinearRegression()).predict(np.zeros((2, 2)))
+
+
+class TestCFSRobustness:
+    def test_rejects_nan_features(self, rng):
+        X = rng.normal(size=(30, 4))
+        X[3, 2] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            CFSSelector(k_max=2).fit(X, rng.normal(size=30))
+
+    def test_rejects_inf_target(self, rng):
+        X = rng.normal(size=(30, 4))
+        y = rng.normal(size=30)
+        y[0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            CFSSelector(k_max=2).fit(X, y)
+
+    def test_all_dead_columns_still_selects(self, rng):
+        """A pathological all-constant matrix must not crash: merits are
+        zero but a deterministic subset is still returned."""
+        X = np.ones((20, 5))
+        selector = CFSSelector(k_max=3).fit(X, rng.normal(size=20))
+        assert len(selector.selected_) == 3

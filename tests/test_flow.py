@@ -1,0 +1,187 @@
+"""Tests for scenarios, the prediction pipeline, and screening."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import PredictionIntervals
+from repro.eval.experiments import FeatureSet
+from repro.flow.pipeline import VminPredictionFlow
+from repro.flow.scenarios import build_scenario
+from repro.flow.screening import ScreeningDecision, SpecScreeningPolicy
+from repro.models import LinearRegression, QuantileLinearRegression
+from repro.silicon.constants import MIN_SPEC_V
+
+
+class TestScenarios:
+    def test_production_scenario(self, lot):
+        scenario = build_scenario(lot, 25.0, 0)
+        assert scenario.kind == "production"
+        assert scenario.n_chips == 156
+        assert scenario.X.shape[1] == len(scenario.feature_names)
+
+    def test_in_field_scenario_accumulates_monitors(self, lot):
+        early = build_scenario(lot, 25.0, 24)
+        late = build_scenario(lot, 25.0, 1008)
+        assert late.kind == "in_field"
+        assert late.n_features > early.n_features
+
+    def test_feature_set_restriction(self, lot):
+        onchip = build_scenario(lot, 25.0, 0, FeatureSet.ONCHIP)
+        assert all(not n.startswith("par_") for n in onchip.feature_names)
+
+    def test_describe_mentions_corner(self, lot):
+        text = build_scenario(lot, -45.0, 48).describe()
+        assert "-45" in text and "48 h" in text
+
+    def test_rejects_bad_corner(self, lot):
+        with pytest.raises(ValueError):
+            build_scenario(lot, 10.0, 0)
+
+
+class TestVminPredictionFlow:
+    def test_end_to_end_coverage(self, lot):
+        X, names = lot.features(0)
+        y = lot.target(25.0, 0)
+        flow = VminPredictionFlow(alpha=0.1, random_state=0)
+        flow.fit(X[:120], y[:120], feature_names=names)
+        intervals = flow.predict_interval(X[120:])
+        assert intervals.coverage(y[120:]) >= 0.75
+        assert intervals.mean_width < 0.1  # volts; sane scale
+
+    def test_selected_feature_names_exposed(self, lot):
+        X, names = lot.features(0)
+        y = lot.target(25.0, 0)
+        flow = VminPredictionFlow(
+            base_model=QuantileLinearRegression(),
+            n_features=5,
+            random_state=0,
+        )
+        flow.fit(X[:120], y[:120], feature_names=names)
+        assert len(flow.selected_feature_names_) == 5
+        assert set(flow.selected_feature_names_) <= set(names)
+
+    def test_guaranteed_coverage_reported(self, lot):
+        X, _ = lot.features(0)
+        y = lot.target(25.0, 0)
+        flow = VminPredictionFlow(alpha=0.1, random_state=0).fit(X[:100], y[:100])
+        assert flow.guaranteed_coverage_ >= 0.9
+
+    def test_conformal_correction_exposed(self, lot):
+        X, _ = lot.features(0)
+        y = lot.target(25.0, 0)
+        flow = VminPredictionFlow(random_state=0).fit(X[:100], y[:100])
+        low, high = flow.conformal_correction_
+        assert np.isfinite(low) and np.isfinite(high)
+
+    def test_rejects_non_quantile_base(self, lot):
+        X, _ = lot.features(0)
+        y = lot.target(25.0, 0)
+        flow = VminPredictionFlow(base_model=LinearRegression())
+        with pytest.raises(ValueError, match="quantile-capable"):
+            flow.fit(X[:60], y[:60])
+
+    def test_rejects_name_length_mismatch(self, lot):
+        X, _ = lot.features(0)
+        y = lot.target(25.0, 0)
+        with pytest.raises(ValueError, match="feature names"):
+            VminPredictionFlow().fit(X[:60], y[:60], feature_names=["a"])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            VminPredictionFlow().predict_interval(np.zeros((2, 2)))
+
+
+class TestScreening:
+    def _intervals(self, lows, highs):
+        return PredictionIntervals(np.asarray(lows), np.asarray(highs))
+
+    def test_three_way_decision(self):
+        spec = 0.7
+        policy = SpecScreeningPolicy(min_spec_v=spec)
+        intervals = self._intervals(
+            [0.60, 0.71, 0.68], [0.65, 0.75, 0.72]
+        )
+        decisions = policy.decide(intervals)
+        assert decisions[0] == ScreeningDecision.PASS
+        assert decisions[1] == ScreeningDecision.FAIL
+        assert decisions[2] == ScreeningDecision.RETEST
+
+    def test_guard_band_makes_pass_stricter(self):
+        policy = SpecScreeningPolicy(min_spec_v=0.7, guard_band_v=0.02)
+        intervals = self._intervals([0.60], [0.69])
+        assert policy.decide(intervals)[0] == ScreeningDecision.RETEST
+
+    def test_outcome_accounting(self):
+        policy = SpecScreeningPolicy(min_spec_v=0.7)
+        intervals = self._intervals(
+            [0.60, 0.71, 0.68, 0.55], [0.65, 0.75, 0.72, 0.62]
+        )
+        truth = np.array([0.63, 0.73, 0.71, 0.72])  # chip 3: passed but failing
+        outcome = policy.screen(intervals, truth)
+        assert outcome.count(ScreeningDecision.PASS) == 2
+        assert outcome.count(ScreeningDecision.FAIL) == 1
+        assert outcome.test_time_saved == pytest.approx(0.75)
+        assert outcome.underkill == pytest.approx(1 / 3)
+        assert outcome.overkill == 0.0
+
+    def test_screen_on_real_flow(self, lot):
+        X, _ = lot.features(0)
+        y = lot.target(-45.0, 1008)
+        X_t, _ = lot.features(1008)
+        flow = VminPredictionFlow(alpha=0.1, random_state=0).fit(X_t[:120], y[:120])
+        intervals = flow.predict_interval(X_t[120:])
+        outcome = SpecScreeningPolicy(min_spec_v=MIN_SPEC_V).screen(
+            intervals, y[120:]
+        )
+        # Screening must save some test time without huge misclassification.
+        assert 0.0 <= outcome.underkill <= 1.0
+        assert outcome.test_time_saved > 0.2
+
+    def test_rejects_mismatched_truth(self):
+        policy = SpecScreeningPolicy()
+        intervals = self._intervals([0.6], [0.7])
+        with pytest.raises(ValueError, match="shape"):
+            policy.screen(intervals, np.zeros(3))
+
+    def test_rejects_negative_guard_band(self):
+        with pytest.raises(ValueError):
+            SpecScreeningPolicy(guard_band_v=-0.01)
+
+
+class TestForecastScenario:
+    def test_labels_come_from_future_read_point(self, lot):
+        from repro.flow.scenarios import build_forecast_scenario
+
+        scenario = build_forecast_scenario(lot, 25.0, 48, 1008)
+        assert scenario.kind == "forecast"
+        assert scenario.hours == 1008
+        np.testing.assert_array_equal(scenario.y, lot.target(25.0, 1008))
+        # Features are cut off at 48 h: parametric + 3 monitor snapshots.
+        X48, _ = lot.features(48)
+        np.testing.assert_array_equal(scenario.X, X48)
+
+    def test_forecastability_with_cqr(self, lot):
+        """The headline extension: a calibrated interval on NEXT-read-point
+        Vmin from current telemetry still covers."""
+        from repro.core import ConformalizedQuantileRegressor
+        from repro.features.selection import CFSSelectedRegressor
+        from repro.flow.scenarios import build_forecast_scenario
+
+        scenario = build_forecast_scenario(lot, 25.0, 168, 504)
+        y = scenario.y * 1000.0
+        template = CFSSelectedRegressor(
+            QuantileLinearRegression(), k=8, quantile=0.5
+        )
+        cqr = ConformalizedQuantileRegressor(
+            template, alpha=0.1, random_state=0
+        ).fit(scenario.X[:117], y[:117])
+        intervals = cqr.predict_interval(scenario.X[117:])
+        assert intervals.coverage(y[117:]) >= 0.7
+
+    def test_rejects_non_causal_order(self, lot):
+        from repro.flow.scenarios import build_forecast_scenario
+
+        with pytest.raises(ValueError, match="after the feature"):
+            build_forecast_scenario(lot, 25.0, 504, 48)
+        with pytest.raises(ValueError, match="after the feature"):
+            build_forecast_scenario(lot, 25.0, 48, 48)

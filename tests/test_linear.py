@@ -1,0 +1,120 @@
+"""Tests for linear point and quantile regression."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+
+
+class TestLinearRegression:
+    def test_recovers_true_coefficients(self, linear_data):
+        X, y, coef, intercept = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(intercept, abs=0.05)
+
+    def test_matches_normal_equations(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        expected = np.linalg.solve(X.T @ X, X.T @ y)
+        np.testing.assert_allclose(model.coef_, expected, atol=1e-8)
+
+    def test_no_intercept_mode(self, rng):
+        X = rng.normal(size=(100, 2)) + 5.0
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(model.coef_, [1.0, 2.0], atol=1e-8)
+
+    def test_ridge_shrinks_coefficients(self, linear_data):
+        X, y, *_ = linear_data
+        ols = LinearRegression(alpha=0.0).fit(X, y)
+        ridge = LinearRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+    def test_ridge_does_not_penalise_intercept(self, rng):
+        y = rng.normal(loc=100.0, scale=0.1, size=50)
+        X = rng.normal(size=(50, 2))
+        model = LinearRegression(alpha=1e6).fit(X, y)
+        assert model.intercept_ == pytest.approx(100.0, abs=0.2)
+
+    def test_rank_deficient_uses_min_norm(self, rng):
+        base = rng.normal(size=(30, 1))
+        X = np.hstack([base, base])  # perfectly collinear
+        y = base[:, 0] * 2.0
+        model = LinearRegression().fit(X, y)
+        prediction = model.predict(X)
+        np.testing.assert_allclose(prediction, y, atol=1e-8)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LinearRegression(alpha=-1.0)
+
+    def test_predict_rejects_wrong_width(self, linear_data):
+        X, y, *_ = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :2])
+
+
+class TestQuantileLinearRegression:
+    def test_intercept_only_recovers_empirical_quantile(self, rng):
+        y = rng.normal(size=800)
+        X = np.zeros((800, 1))
+        for q in (0.1, 0.5, 0.9):
+            model = QuantileLinearRegression(quantile=q).fit(X, y)
+            assert model.intercept_ == pytest.approx(np.quantile(y, q), abs=0.08)
+
+    def test_median_regression_recovers_slope(self, rng):
+        X = rng.normal(size=(400, 1))
+        y = 3.0 * X[:, 0] + rng.standard_t(df=3, size=400) * 0.1
+        model = QuantileLinearRegression(quantile=0.5).fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0, abs=0.05)
+
+    def test_quantile_crossing_fraction_matches_q(self, rng):
+        X = rng.normal(size=(1000, 2))
+        y = X[:, 0] + rng.normal(size=1000)
+        q = 0.8
+        model = QuantileLinearRegression(quantile=q).fit(X, y)
+        below = np.mean(y <= model.predict(X))
+        assert below == pytest.approx(q, abs=0.03)
+
+    def test_upper_above_lower(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.normal(size=300)
+        lo = QuantileLinearRegression(quantile=0.1).fit(X, y)
+        hi = QuantileLinearRegression(quantile=0.9).fit(X, y)
+        assert np.mean(hi.predict(X) - lo.predict(X)) > 0
+
+    def test_irls_close_to_lp(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0] - 0.5 * X[:, 1] + rng.normal(size=200)
+        lp = QuantileLinearRegression(quantile=0.7, alpha=0.0).fit(X, y)
+        irls = QuantileLinearRegression(quantile=0.7, alpha=1e-6).fit(X, y)
+        np.testing.assert_allclose(irls.coef_, lp.coef_, atol=0.15)
+
+    def test_ridge_irls_shrinks(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = 5 * X[:, 0] + rng.normal(size=100)
+        small = QuantileLinearRegression(quantile=0.5, alpha=1e-6).fit(X, y)
+        big = QuantileLinearRegression(quantile=0.5, alpha=100.0).fit(X, y)
+        assert np.linalg.norm(big.coef_) < np.linalg.norm(small.coef_)
+
+    def test_no_intercept(self, rng):
+        X = np.abs(rng.normal(size=(200, 1)))
+        y = 2.0 * X[:, 0]
+        model = QuantileLinearRegression(quantile=0.5, fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_rejects_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            QuantileLinearRegression(quantile=1.2)
+
+    def test_predict_rejects_wrong_width(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        model = QuantileLinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :1])

@@ -1,0 +1,197 @@
+"""Tests for the estimator protocol in repro.models.base."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import (
+    BaseRegressor,
+    NotFittedError,
+    check_fitted,
+    check_random_state,
+    check_X,
+    check_X_y,
+    clone,
+)
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+
+
+class _Dummy(BaseRegressor):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestParamProtocol:
+    def test_get_params_returns_constructor_args(self):
+        model = _Dummy(alpha=2.5, beta="y")
+        assert model.get_params() == {"alpha": 2.5, "beta": "y"}
+
+    def test_set_params_updates_value(self):
+        model = _Dummy()
+        model.set_params(alpha=9.0)
+        assert model.alpha == 9.0
+
+    def test_set_params_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            _Dummy().set_params(gamma=1)
+
+    def test_repr_contains_params(self):
+        text = repr(_Dummy(alpha=3))
+        assert "alpha=3" in text and "_Dummy" in text
+
+
+class TestClone:
+    def test_clone_copies_params(self):
+        original = _Dummy(alpha=4.0)
+        copy = clone(original)
+        assert copy is not original
+        assert copy.get_params() == original.get_params()
+
+    def test_clone_is_deep_for_mutable_params(self):
+        original = _Dummy(alpha=[1, 2])
+        copy = clone(original)
+        copy.alpha.append(3)
+        assert original.alpha == [1, 2]
+
+    def test_clone_with_quantile_override(self):
+        template = QuantileLinearRegression(quantile=0.5)
+        lower = clone(template, quantile=0.05)
+        assert lower.quantile == 0.05
+        assert template.quantile == 0.5
+
+    def test_clone_quantile_rejected_for_non_quantile_model(self):
+        with pytest.raises(ValueError, match="no 'quantile' parameter"):
+            clone(LinearRegression(), quantile=0.1)
+
+    def test_clone_rejects_object_without_get_params(self):
+        with pytest.raises(TypeError, match="cannot clone"):
+            clone(object())
+
+    def test_clone_does_not_copy_fitted_state(self, linear_data):
+        X, y, *_ = linear_data
+        model = LinearRegression().fit(X, y)
+        fresh = clone(model)
+        assert fresh.coef_ is None
+
+
+class TestCheckX:
+    def test_accepts_2d_and_casts_float(self):
+        out = check_X([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_X(np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_X(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        X = np.ones((3, 2))
+        X[1, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_X(X)
+
+    def test_rejects_inf(self):
+        X = np.ones((3, 2))
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            check_X(X)
+
+
+class TestCheckXY:
+    def test_returns_pair(self):
+        X, y = check_X_y([[1.0], [2.0]], [3.0, 4.0])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent lengths"):
+            check_X_y(np.ones((3, 2)), np.ones(4))
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_X_y(np.ones((3, 2)), np.ones((3, 1)))
+
+    def test_rejects_nan_y(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X_y(np.ones((2, 1)), [1.0, np.nan])
+
+
+class TestCheckFitted:
+    def test_raises_before_fit(self):
+        with pytest.raises(NotFittedError, match="not fitted"):
+            check_fitted(LinearRegression(), "coef_")
+
+    def test_passes_after_fit(self, linear_data):
+        X, y, *_ = linear_data
+        model = LinearRegression().fit(X, y)
+        check_fitted(model, "coef_")  # no exception
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(7).integers(0, 1000, 5)
+        b = check_random_state(7).integers(0, 1000, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert check_random_state(gen) is gen
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestScore:
+    def test_perfect_prediction_scores_one(self, linear_data):
+        X, y, *_ = linear_data
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_constant_target_handled(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.full(10, 2.0)
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+
+class TestCloneConformalWrappers:
+    """Conformal wrappers are BaseRegressors too: cloning them must yield
+    unfitted copies with independent template instances."""
+
+    def test_clone_split_cp(self, linear_data):
+        from repro.core.split_cp import SplitConformalRegressor
+
+        X, y, *_ = linear_data
+        original = SplitConformalRegressor(
+            LinearRegression(), alpha=0.2, random_state=1
+        ).fit(X, y)
+        copy = clone(original)
+        assert copy.estimator_ is None  # unfitted
+        assert copy.alpha == 0.2
+        assert copy.estimator is not original.estimator
+
+    def test_clone_cqr_preserves_band_template(self, rng):
+        from repro.core.cqr import ConformalizedQuantileRegressor
+        from repro.models.oblivious import ObliviousBoostingRegressor
+        from repro.models.quantile import PackageDefaultQuantileBand
+
+        band = PackageDefaultQuantileBand(
+            ObliviousBoostingRegressor(n_estimators=3, quantile=0.5),
+            random_state=0,
+        )
+        original = ConformalizedQuantileRegressor(
+            None, alpha=0.1, band_template=band, random_state=0
+        )
+        copy = clone(original)
+        assert isinstance(copy.band_template, PackageDefaultQuantileBand)
+        assert copy.band_template is not band

@@ -1,0 +1,107 @@
+"""Tests for group-conditional (Mondrian) conformal prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.mondrian import MondrianConformalRegressor
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+
+
+def _group_by_sign(X):
+    return (X[:, 0] > 0).astype(int)
+
+
+@pytest.fixture()
+def grouped_data(rng):
+    """Two subpopulations with very different noise scales."""
+    n = 1200
+    X = rng.normal(size=(n, 3))
+    noise = np.where(X[:, 0] > 0, 2.0, 0.2)
+    y = X[:, 1] + rng.normal(scale=noise)
+    return X, y
+
+
+class TestMondrian:
+    def test_point_mode_per_group_coverage(self, grouped_data):
+        X, y = grouped_data
+        model = MondrianConformalRegressor(
+            LinearRegression(), _group_by_sign, alpha=0.1, random_state=0
+        ).fit(X[:900], y[:900])
+        intervals = model.predict_interval(X[900:])
+        for key in (0, 1):
+            members = _group_by_sign(X[900:]) == key
+            coverage = intervals.contains(y[900:]).astype(float)[members].mean()
+            assert coverage >= 0.8, f"group {key} under-covered"
+
+    def test_group_quantiles_reflect_noise(self, grouped_data):
+        X, y = grouped_data
+        model = MondrianConformalRegressor(
+            LinearRegression(), _group_by_sign, alpha=0.1, random_state=0
+        ).fit(X, y)
+        assert model.group_quantiles_[1] > model.group_quantiles_[0]
+
+    def test_marginal_cp_undercovers_noisy_group(self, grouped_data):
+        """The motivating contrast: plain split CP's marginal interval is
+        too narrow for the noisy group."""
+        from repro.core.split_cp import SplitConformalRegressor
+
+        X, y = grouped_data
+        marginal = SplitConformalRegressor(
+            LinearRegression(), alpha=0.1, random_state=0
+        ).fit(X[:900], y[:900])
+        intervals = marginal.predict_interval(X[900:])
+        noisy = _group_by_sign(X[900:]) == 1
+        noisy_coverage = intervals.contains(y[900:]).astype(float)[noisy].mean()
+        mondrian = MondrianConformalRegressor(
+            LinearRegression(), _group_by_sign, alpha=0.1, random_state=0
+        ).fit(X[:900], y[:900])
+        m_intervals = mondrian.predict_interval(X[900:])
+        m_noisy = m_intervals.contains(y[900:]).astype(float)[noisy].mean()
+        assert m_noisy >= noisy_coverage - 0.02
+
+    def test_quantile_mode_uses_band(self, grouped_data):
+        X, y = grouped_data
+        model = MondrianConformalRegressor(
+            QuantileLinearRegression(), _group_by_sign, alpha=0.1, random_state=0
+        ).fit(X[:900], y[:900])
+        assert model.band_ is not None and model.point_model_ is None
+        intervals = model.predict_interval(X[900:])
+        assert intervals.coverage(y[900:]) >= 0.85
+
+    def test_unseen_group_falls_back_to_marginal(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0] + rng.normal(size=200)
+
+        def grouper(Z):
+            # At predict time, inject an unseen group label.
+            return np.where(Z[:, 1] > 3.5, 99, 0)
+
+        model = MondrianConformalRegressor(
+            LinearRegression(), grouper, alpha=0.1, random_state=0
+        ).fit(X, y)
+        X_test = X.copy()
+        X_test[0, 1] = 10.0  # force group 99
+        intervals = model.predict_interval(X_test)
+        assert len(intervals) == 200
+
+    def test_too_small_group_raises(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.normal(size=40)
+        model = MondrianConformalRegressor(
+            LinearRegression(), _group_by_sign, alpha=0.1, random_state=0
+        ).fit(X, y)
+        # Force a group whose calibration quantile is infinite (too few
+        # members for the target alpha) and check the guard fires.
+        key = next(iter(model.group_quantiles_))
+        model.group_quantiles_[key] = float("inf")
+        with pytest.raises(RuntimeError, match="too few"):
+            model.predict_interval(X)
+
+    def test_group_function_shape_checked(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        model = MondrianConformalRegressor(
+            LinearRegression(), lambda Z: np.zeros((2, 2)), random_state=0
+        )
+        with pytest.raises(ValueError, match="one key per row"):
+            model.fit(X, y)

@@ -1,0 +1,96 @@
+"""Tests for the 2-layer MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn import MLPRegressor
+
+
+class TestPointHead:
+    def test_fits_linear_function(self, rng):
+        X = rng.normal(size=(150, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 0.3
+        model = MLPRegressor(epochs=600, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.uniform(-2, 2, size=(300, 1))
+        y = np.abs(X[:, 0])
+        model = MLPRegressor(epochs=1500, weight_decay=0.001, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_handles_unscaled_inputs(self, rng):
+        """Internal standardisation lets raw nA/mV-scale features train."""
+        X = rng.normal(size=(100, 2)) * np.array([1e-9, 1e3])
+        y = 1e9 * X[:, 0] + rng.normal(scale=0.05, size=100)
+        model = MLPRegressor(epochs=600, weight_decay=0.01, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_handles_vmin_scale_targets(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = 0.56 + 0.01 * X[:, 0]
+        model = MLPRegressor(epochs=600, random_state=0).fit(X, y)
+        assert np.abs(model.predict(X) - y).max() < 0.01
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        a = MLPRegressor(epochs=100, random_state=9).fit(X, y)
+        b = MLPRegressor(epochs=100, random_state=9).fit(X, y)
+        np.testing.assert_allclose(a.predict(X), b.predict(X))
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = rng.normal(size=80)
+        free = MLPRegressor(epochs=300, weight_decay=0.0, random_state=0).fit(X, y)
+        penalised = MLPRegressor(epochs=300, weight_decay=10.0, random_state=0).fit(X, y)
+        assert np.linalg.norm(penalised.weights_[0]) < np.linalg.norm(free.weights_[0])
+
+
+class TestQuantileHead:
+    def test_quantile_asymmetry(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.normal(size=300)
+        lo = MLPRegressor(epochs=800, quantile=0.1, random_state=0).fit(X, y)
+        hi = MLPRegressor(epochs=800, quantile=0.9, random_state=0).fit(X, y)
+        assert np.mean(hi.predict(X) - lo.predict(X)) > 0
+
+    def test_exceedance_roughly_matches_quantile(self, rng):
+        X = rng.normal(size=(500, 1))
+        y = X[:, 0] + rng.normal(size=500)
+        model = MLPRegressor(
+            epochs=1500, quantile=0.8, weight_decay=0.001, random_state=0
+        ).fit(X, y)
+        below = np.mean(y <= model.predict(X))
+        assert below == pytest.approx(0.8, abs=0.1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_units": 0},
+            {"epochs": 0},
+            {"weight_decay": -1.0},
+            {"quantile": 0.0},
+        ],
+    )
+    def test_constructor_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            MLPRegressor(**kwargs)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(Exception):
+            MLPRegressor().predict(np.zeros((2, 2)))
+
+    def test_predict_rejects_wrong_width(self, rng):
+        X = rng.normal(size=(30, 3))
+        model = MLPRegressor(epochs=50, random_state=0).fit(X, rng.normal(size=30))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((5, 2)))
+
+    def test_constant_feature_does_not_crash(self, rng):
+        X = np.column_stack([rng.normal(size=40), np.zeros(40)])
+        y = X[:, 0]
+        model = MLPRegressor(epochs=200, random_state=0).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))

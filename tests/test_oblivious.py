@@ -1,0 +1,200 @@
+"""Tests for the CatBoost-style oblivious boosting regressor."""
+
+import numpy as np
+import pytest
+
+from repro.models.oblivious import ObliviousBoostingRegressor, ObliviousTree
+
+
+@pytest.fixture()
+def boost_data(rng):
+    X = rng.normal(size=(200, 6))
+    y = 2.0 * X[:, 0] + np.sin(2 * X[:, 1]) + rng.normal(scale=0.2, size=200)
+    return X[:150], y[:150], X[150:], y[150:]
+
+
+class TestObliviousTree:
+    def test_leaf_indices_binary_code(self):
+        tree = ObliviousTree(
+            features=np.array([0, 1]),
+            thresholds=np.array([0.0, 0.0]),
+            leaf_values=np.array([10.0, 20.0, 30.0, 40.0]),
+        )
+        X = np.array(
+            [[-1.0, -1.0], [-1.0, 1.0], [1.0, -1.0], [1.0, 1.0]]
+        )
+        np.testing.assert_allclose(tree.predict(X), [10.0, 20.0, 30.0, 40.0])
+
+    def test_same_test_per_level(self):
+        """An oblivious tree applies the identical test to all level nodes:
+        swapping earlier decisions never changes later thresholds."""
+        tree = ObliviousTree(
+            features=np.array([0, 0]),
+            thresholds=np.array([0.0, 1.0]),
+            leaf_values=np.arange(4.0),
+        )
+        # value 0.5: above 0.0, below 1.0 -> code 0b10 = 2
+        assert tree.predict(np.array([[0.5]]))[0] == 2.0
+
+
+class TestPointObjective:
+    def test_fits_nonlinear_signal(self, boost_data):
+        Xtr, ytr, Xte, yte = boost_data
+        model = ObliviousBoostingRegressor(random_state=0).fit(Xtr, ytr)
+        assert model.score(Xte, yte) > 0.7
+
+    def test_deterministic_with_seed(self, boost_data):
+        Xtr, ytr, Xte, _ = boost_data
+        a = ObliviousBoostingRegressor(random_state=3).fit(Xtr, ytr)
+        b = ObliviousBoostingRegressor(random_state=3).fit(Xtr, ytr)
+        np.testing.assert_allclose(a.predict(Xte), b.predict(Xte))
+
+    def test_seeds_give_different_models(self, boost_data):
+        Xtr, ytr, Xte, _ = boost_data
+        a = ObliviousBoostingRegressor(random_state=0).fit(Xtr, ytr)
+        b = ObliviousBoostingRegressor(random_state=1).fit(Xtr, ytr)
+        assert not np.allclose(a.predict(Xte), b.predict(Xte))
+
+    def test_constant_feature_never_split(self, rng):
+        X = np.column_stack([rng.normal(size=80), np.full(80, 7.0)])
+        y = X[:, 0] * 2
+        model = ObliviousBoostingRegressor(n_estimators=20, random_state=0).fit(X, y)
+        used = {int(f) for tree in model.trees_ for f in tree.features}
+        assert 1 not in used
+
+    def test_more_rounds_reduce_training_error(self, boost_data):
+        Xtr, ytr, *_ = boost_data
+        few = ObliviousBoostingRegressor(n_estimators=3, random_state=0).fit(Xtr, ytr)
+        many = ObliviousBoostingRegressor(n_estimators=60, random_state=0).fit(Xtr, ytr)
+        assert many.score(Xtr, ytr) > few.score(Xtr, ytr)
+
+    def test_pure_noise_gives_shallow_model(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = np.full(40, 5.0)  # constant target: no split should help
+        model = ObliviousBoostingRegressor(n_estimators=5, random_state=0).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), 5.0, atol=1e-8)
+
+    def test_feature_importances_normalised(self, boost_data):
+        Xtr, ytr, *_ = boost_data
+        model = ObliviousBoostingRegressor(n_estimators=20, random_state=0).fit(Xtr, ytr)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_shortlist_matches_exhaustive_closely(self, boost_data):
+        Xtr, ytr, Xte, yte = boost_data
+        fast = ObliviousBoostingRegressor(
+            n_estimators=30, feature_shortlist=3, random_state=0
+        ).fit(Xtr, ytr)
+        # 6 features only: shortlist barely binds; quality must hold.
+        assert fast.score(Xte, yte) > 0.6
+
+
+class TestQuantileObjective:
+    def test_exact_leaf_median_converges(self, boost_data):
+        """Exact-quantile leaf estimation makes the median model a decent
+        point predictor (unlike unit-Hessian pinball steps)."""
+        Xtr, ytr, Xte, yte = boost_data
+        model = ObliviousBoostingRegressor(quantile=0.5, random_state=0).fit(Xtr, ytr)
+        assert model.score(Xte, yte) > 0.6
+
+    def test_band_ordering(self, boost_data):
+        Xtr, ytr, Xte, _ = boost_data
+        lo = ObliviousBoostingRegressor(quantile=0.1, random_state=0).fit(Xtr, ytr)
+        hi = ObliviousBoostingRegressor(quantile=0.9, random_state=0).fit(Xtr, ytr)
+        assert np.mean(hi.predict(Xte) - lo.predict(Xte)) > 0
+
+    def test_scale_equivariance_of_exact_leaves(self, boost_data):
+        """Exact-quantile leaves make the fit equivariant to target scale
+        (CatBoost property the XGB-style pinball boosting lacks)."""
+        Xtr, ytr, Xte, _ = boost_data
+        base = ObliviousBoostingRegressor(quantile=0.5, random_state=0).fit(Xtr, ytr)
+        scaled = ObliviousBoostingRegressor(quantile=0.5, random_state=0).fit(
+            Xtr, ytr * 1000.0
+        )
+        np.testing.assert_allclose(
+            scaled.predict(Xte) / 1000.0, base.predict(Xte), rtol=1e-6, atol=1e-6
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"depth": 0},
+            {"l2_leaf_reg": -1.0},
+            {"max_bins": 1},
+            {"rsm": 0.0},
+            {"random_strength": -1.0},
+            {"bagging_temperature": -0.5},
+            {"quantile": 0.0},
+            {"feature_shortlist": 0},
+        ],
+    )
+    def test_constructor_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ObliviousBoostingRegressor(**kwargs)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(Exception):
+            ObliviousBoostingRegressor().predict(np.zeros((2, 2)))
+
+    def test_predict_rejects_wrong_width(self, boost_data):
+        Xtr, ytr, *_ = boost_data
+        model = ObliviousBoostingRegressor(n_estimators=3, random_state=0).fit(Xtr, ytr)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((2, 3)))
+
+
+class TestStagedPredict:
+    def test_last_stage_matches_predict(self, boost_data):
+        Xtr, ytr, Xte, _ = boost_data
+        model = ObliviousBoostingRegressor(n_estimators=8, random_state=0).fit(
+            Xtr, ytr
+        )
+        stages = model.staged_predict(Xte)
+        assert stages.shape == (8, Xte.shape[0])
+        np.testing.assert_allclose(stages[-1], model.predict(Xte), atol=1e-10)
+
+    def test_training_loss_decreases_along_stages(self, boost_data):
+        Xtr, ytr, *_ = boost_data
+        model = ObliviousBoostingRegressor(n_estimators=30, random_state=0).fit(
+            Xtr, ytr
+        )
+        stages = model.staged_predict(Xtr)
+        losses = ((stages - ytr[None, :]) ** 2).mean(axis=1)
+        assert losses[-1] < losses[0]
+
+
+class TestRegressionGuards:
+    def test_quantile_mode_actually_splits(self, boost_data):
+        """Regression guard: the no-split baseline must be computed once
+        per leaf set, not summed over candidate features -- the inflated
+        baseline silently suppressed ALL splits in quantile mode."""
+        Xtr, ytr, *_ = boost_data
+        model = ObliviousBoostingRegressor(
+            quantile=0.5, n_estimators=5, random_state=0
+        ).fit(Xtr, ytr)
+        assert any(tree.features.size > 0 for tree in model.trees_)
+
+    def test_wide_matrix_quantile_mode_splits(self, rng):
+        """Same guard at paper-like width (the bug scaled with n_features)."""
+        X = rng.normal(size=(100, 500))
+        y = X[:, 3] + rng.normal(scale=0.1, size=100)
+        model = ObliviousBoostingRegressor(
+            quantile=0.5, n_estimators=3, random_state=0
+        ).fit(X, y)
+        assert any(tree.features.size > 0 for tree in model.trees_)
+
+    def test_split_never_selects_out_of_range_bin(self, rng):
+        """Regression guard: score noise must not promote no-op splits
+        whose bin index exceeds a feature's real edge count."""
+        # One feature with 2 distinct values amid many rich features.
+        X = rng.normal(size=(60, 10))
+        X[:, 0] = (X[:, 0] > 0).astype(float)
+        y = X[:, 0] + X[:, 1] + rng.normal(scale=0.1, size=60)
+        for seed in range(5):
+            model = ObliviousBoostingRegressor(
+                n_estimators=10, random_state=seed
+            ).fit(X, y)  # IndexError before the fix
+            assert np.all(np.isfinite(model.predict(X)))

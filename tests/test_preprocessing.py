@@ -1,0 +1,121 @@
+"""Tests for scaler, dropper, and pipeline composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.features.preprocessing import (
+    ConstantFeatureDropper,
+    Pipeline,
+    StandardScaler,
+)
+from repro.models.linear import LinearRegression
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self, rng):
+        X = np.column_stack([rng.normal(size=20), np.full(20, 7.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_array_equal(Z[:, 1], 0.0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(2, 20), st.integers(1, 5)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, X):
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6, rtol=1e-9
+        )
+
+    def test_transform_uses_training_stats(self, rng):
+        train = rng.normal(size=(50, 2))
+        scaler = StandardScaler().fit(train)
+        test = rng.normal(loc=10.0, size=(10, 2))
+        Z = scaler.transform(test)
+        assert Z.mean() > 1.0  # shifted data stays shifted
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_width_mismatch_raises(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            scaler.transform(rng.normal(size=(5, 2)))
+
+
+class TestConstantFeatureDropper:
+    def test_drops_only_dead_columns(self, rng):
+        X = np.column_stack(
+            [rng.normal(size=30), np.zeros(30), rng.normal(size=30)]
+        )
+        dropper = ConstantFeatureDropper().fit(X)
+        out = dropper.transform(X)
+        assert out.shape == (30, 2)
+        np.testing.assert_array_equal(dropper.kept_, [0, 2])
+
+    def test_tolerance_drops_near_constant(self, rng):
+        X = np.column_stack(
+            [rng.normal(size=100), 1e-6 * rng.normal(size=100)]
+        )
+        out = ConstantFeatureDropper(tolerance=1e-3).fit_transform(X)
+        assert out.shape[1] == 1
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            ConstantFeatureDropper(tolerance=-1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ConstantFeatureDropper().transform(np.ones((2, 2)))
+
+
+class TestPipeline:
+    def test_transforms_then_predicts(self, rng):
+        X = np.column_stack([rng.normal(size=100), np.zeros(100)])
+        y = 2.0 * X[:, 0]
+        pipeline = Pipeline(
+            [
+                ("drop", ConstantFeatureDropper()),
+                ("scale", StandardScaler()),
+                ("model", LinearRegression()),
+            ]
+        )
+        pipeline.fit(X, y)
+        prediction = pipeline.predict(X)
+        assert np.corrcoef(prediction, y)[0, 1] > 0.999
+
+    def test_transform_interface_when_last_is_transformer(self, rng):
+        X = rng.normal(size=(20, 3))
+        pipeline = Pipeline(
+            [("drop", ConstantFeatureDropper()), ("scale", StandardScaler())]
+        )
+        out = pipeline.fit_transform(X)
+        assert out.shape == (20, 3)
+
+    def test_predict_on_transformer_pipeline_raises(self, rng):
+        pipeline = Pipeline([("scale", StandardScaler())])
+        pipeline.fit(rng.normal(size=(5, 2)))
+        with pytest.raises(TypeError, match="predict"):
+            pipeline.predict(np.ones((2, 2)))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Pipeline([])

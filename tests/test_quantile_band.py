@@ -1,0 +1,122 @@
+"""Tests for QuantileBandRegressor and PackageDefaultQuantileBand."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+from repro.models.oblivious import ObliviousBoostingRegressor
+from repro.models.quantile import PackageDefaultQuantileBand, QuantileBandRegressor
+
+
+class TestQuantileBandRegressor:
+    def test_quantile_targets_from_alpha(self):
+        band = QuantileBandRegressor(QuantileLinearRegression(), alpha=0.2)
+        assert band.quantiles == (0.1, 0.9)
+
+    def test_template_not_mutated(self, rng):
+        template = QuantileLinearRegression(quantile=0.5)
+        X = rng.normal(size=(80, 2))
+        y = X[:, 0] + rng.normal(size=80)
+        QuantileBandRegressor(template, alpha=0.1).fit(X, y)
+        assert template.quantile == 0.5
+        assert template.coef_ is None
+
+    def test_band_members_have_target_quantiles(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = rng.normal(size=60)
+        band = QuantileBandRegressor(QuantileLinearRegression(), alpha=0.1).fit(X, y)
+        assert band.lower_.quantile == pytest.approx(0.05)
+        assert band.upper_.quantile == pytest.approx(0.95)
+
+    def test_bounds_ordered_after_fix(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] + rng.normal(size=100)
+        band = QuantileBandRegressor(QuantileLinearRegression(), alpha=0.1).fit(X, y)
+        lower, upper = band.predict_interval(X)
+        assert np.all(lower <= upper)
+        assert 0.0 <= band.crossing_rate_ <= 1.0
+
+    def test_band_covers_roughly_on_iid_data(self, rng):
+        X = rng.normal(size=(800, 2))
+        y = X[:, 0] + rng.normal(size=800)
+        band = QuantileBandRegressor(QuantileLinearRegression(), alpha=0.1).fit(
+            X[:600], y[:600]
+        )
+        lower, upper = band.predict_interval(X[600:])
+        coverage = np.mean((y[600:] >= lower) & (y[600:] <= upper))
+        assert 0.8 < coverage < 0.98
+
+    def test_predict_is_midpoint(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = rng.normal(size=60)
+        band = QuantileBandRegressor(QuantileLinearRegression(), alpha=0.1).fit(X, y)
+        lower, upper = band.predict_interval(X)
+        np.testing.assert_allclose(band.predict(X), (lower + upper) / 2)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            QuantileBandRegressor(QuantileLinearRegression(), alpha=0.0)
+
+    def test_rejects_non_quantile_template_at_fit(self, rng):
+        X = rng.normal(size=(30, 2))
+        band = QuantileBandRegressor(LinearRegression(), alpha=0.1)
+        with pytest.raises(ValueError, match="quantile"):
+            band.fit(X, rng.normal(size=30))
+
+    def test_predict_before_fit(self):
+        band = QuantileBandRegressor(QuantileLinearRegression())
+        with pytest.raises(Exception):
+            band.predict_interval(np.zeros((2, 2)))
+
+
+class TestPackageDefaultQuantileBand:
+    def test_both_members_trained_at_loss_quantile(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0] + rng.normal(size=60)
+        band = PackageDefaultQuantileBand(
+            ObliviousBoostingRegressor(n_estimators=5, quantile=0.5),
+            random_state=0,
+        ).fit(X, y)
+        assert band.lower_.quantile == 0.5
+        assert band.upper_.quantile == 0.5
+
+    def test_members_differ_only_by_seed(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0] + rng.normal(size=60)
+        band = PackageDefaultQuantileBand(
+            ObliviousBoostingRegressor(n_estimators=5, quantile=0.5),
+            random_state=0,
+        ).fit(X, y)
+        assert band.lower_.random_state != band.upper_.random_state
+
+    def test_band_is_pathologically_narrow(self, rng):
+        """The defining failure mode: near-zero width vs the target span."""
+        X = rng.normal(size=(120, 3))
+        y = X[:, 0] + rng.normal(size=120)
+        band = PackageDefaultQuantileBand(
+            ObliviousBoostingRegressor(n_estimators=40, quantile=0.5),
+            random_state=0,
+        ).fit(X, y)
+        lower, upper = band.predict_interval(X)
+        proper = QuantileBandRegressor(
+            ObliviousBoostingRegressor(n_estimators=40, quantile=0.5, random_state=0),
+            alpha=0.1,
+        ).fit(X, y)
+        plower, pupper = proper.predict_interval(X)
+        assert np.mean(upper - lower) < 0.3 * np.mean(pupper - plower)
+
+    def test_bounds_ordered(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        band = PackageDefaultQuantileBand(
+            ObliviousBoostingRegressor(n_estimators=5, quantile=0.5),
+            random_state=1,
+        ).fit(X, y)
+        lower, upper = band.predict_interval(X)
+        assert np.all(lower <= upper)
+
+    def test_rejects_bad_loss_quantile(self):
+        with pytest.raises(ValueError, match="loss_quantile"):
+            PackageDefaultQuantileBand(
+                ObliviousBoostingRegressor(quantile=0.5), loss_quantile=1.0
+            )

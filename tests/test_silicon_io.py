@@ -1,0 +1,84 @@
+"""Tests for dataset persistence and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.silicon import SiliconDataset
+from repro.silicon.io import export_flow_csv, load_measurements, save_measurements
+
+
+class TestRoundTrip:
+    def test_measurements_identical(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        loaded = load_measurements(path)
+        np.testing.assert_array_equal(loaded.parametric, small_lot.parametric)
+        for hours in small_lot.read_points:
+            np.testing.assert_array_equal(loaded.rod[hours], small_lot.rod[hours])
+            np.testing.assert_array_equal(loaded.cpd[hours], small_lot.cpd[hours])
+        for key in small_lot.vmin:
+            np.testing.assert_array_equal(loaded.vmin[key], small_lot.vmin[key])
+
+    def test_feature_assembly_works_after_load(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        loaded = load_measurements(path)
+        X_orig, names_orig = small_lot.features(48)
+        X_load, names_load = loaded.features(48)
+        np.testing.assert_array_equal(X_load, X_orig)
+        assert names_load == names_orig
+
+    def test_targets_work_after_load(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        loaded = load_measurements(path)
+        np.testing.assert_array_equal(
+            loaded.target(25.0, 24), small_lot.target(25.0, 24)
+        )
+
+    def test_latents_not_persisted(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        loaded = load_measurements(path)
+        assert loaded.true_vmin == {}
+        with pytest.raises(AttributeError, match="measurements only"):
+            _ = loaded.population.defects
+
+    def test_format_version_checked(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["format_version"] = np.array([99])
+        np.savez_compressed(tmp_path / "bad.npz", **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_measurements(tmp_path / "bad.npz")
+
+
+class TestCSVExport:
+    def test_row_count_and_header(self, small_lot, tmp_path):
+        path = tmp_path / "flow.csv"
+        count = export_flow_csv(small_lot, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "read_point_hours"
+        assert len(rows) == count + 1
+
+    def test_values_parse_back(self, small_lot, tmp_path):
+        path = tmp_path / "flow.csv"
+        export_flow_csv(small_lot, path)
+        with open(path) as handle:
+            reader = csv.DictReader(handle)
+            first = next(
+                row
+                for row in reader
+                if row["insertion"] == "rod" and row["read_point_hours"] == "0"
+            )
+        column = small_lot.rod_names.index(first["channel"])
+        chip = int(first["chip_index"])
+        assert float(first["value"]) == pytest.approx(
+            small_lot.rod[0][chip, column]
+        )
+
+    def test_parametric_excluded_by_default(self, small_lot, tmp_path):
+        path = tmp_path / "flow.csv"
+        export_flow_csv(small_lot, path)
+        with open(path) as handle:
+            assert "parametric" not in handle.read()

@@ -1,0 +1,189 @@
+"""Tests for monitors, parametric tests, and the Vmin model."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.aging import AgingModel
+from repro.silicon.constants import (
+    N_CPD_SENSORS,
+    N_PARAMETRIC_TESTS,
+    N_ROD_SENSORS,
+    TEMPERATURES_C,
+)
+from repro.silicon.defects import DefectModel
+from repro.silicon.monitors import CPDSensorBank, RODSensorBank
+from repro.silicon.parametric import ParametricTestBank
+from repro.silicon.process import ProcessVariationModel
+from repro.silicon.vmin import ScanVminModel
+
+
+@pytest.fixture()
+def population():
+    rng = np.random.default_rng(0)
+    process = ProcessVariationModel().sample(80, rng)
+    aging = AgingModel().sample_amplitudes(process.vth_shift, rng)
+    defects = DefectModel(defect_rate=0.2).sample(80, rng)
+    return process, aging, defects
+
+
+class TestRODBank:
+    def test_reading_shape_and_names(self, population):
+        process, aging, _ = population
+        bank = RODSensorBank(random_state=0)
+        bank.fabricate(process, np.random.default_rng(1))
+        reading = bank.read(aging, 0, np.random.default_rng(2))
+        assert reading.shape == (80, N_ROD_SENSORS)
+        assert len(bank.sensor_names()) == N_ROD_SENSORS
+        assert len(set(bank.sensor_names())) == N_ROD_SENSORS
+
+    def test_slow_silicon_reads_slower(self, population):
+        process, aging, _ = population
+        bank = RODSensorBank(noise_ps=0.0, random_state=0)
+        bank.fabricate(process, np.random.default_rng(1))
+        reading = bank.read(aging, 0, np.random.default_rng(2))
+        corr = np.corrcoef(process.vth_shift, reading.mean(axis=1))[0, 1]
+        assert corr > 0.9
+
+    def test_aging_increases_delay(self, population):
+        process, aging, _ = population
+        bank = RODSensorBank(noise_ps=0.0, random_state=0)
+        bank.fabricate(process, np.random.default_rng(1))
+        fresh = bank.read(aging, 0, np.random.default_rng(2))
+        aged = bank.read(aging, 1008, np.random.default_rng(2))
+        assert np.all(aged.mean(axis=1) > fresh.mean(axis=1))
+
+    def test_read_before_fabricate_raises(self, population):
+        _, aging, _ = population
+        with pytest.raises(RuntimeError, match="fabricate"):
+            RODSensorBank().read(aging, 0, 0)
+
+    def test_readings_have_fresh_noise(self, population):
+        process, aging, _ = population
+        bank = RODSensorBank(random_state=0)
+        bank.fabricate(process, np.random.default_rng(1))
+        a = bank.read(aging, 0, np.random.default_rng(2))
+        b = bank.read(aging, 0, np.random.default_rng(3))
+        assert not np.allclose(a, b)
+
+
+class TestCPDBank:
+    def test_reading_shape(self, population):
+        process, aging, defects = population
+        bank = CPDSensorBank(random_state=0)
+        bank.fabricate(process, defects, np.random.default_rng(1))
+        reading = bank.read(aging, 24, np.random.default_rng(2))
+        assert reading.shape == (80, N_CPD_SENSORS)
+
+    def test_defect_signature_visible(self, population):
+        process, aging, defects = population
+        bank = CPDSensorBank(noise_ps=0.0, random_state=0)
+        bank.fabricate(process, defects, np.random.default_rng(1))
+        reading = bank.read(aging, 0, np.random.default_rng(2))
+        # Remove the process component: compare against a defect-free twin.
+        clean_defects = DefectModel(defect_rate=0.0).sample(80, np.random.default_rng(9))
+        clean_bank = CPDSensorBank(noise_ps=0.0, random_state=0)
+        clean_bank.fabricate(process, clean_defects, np.random.default_rng(1))
+        clean = clean_bank.read(aging, 0, np.random.default_rng(2))
+        extra = (reading - clean).max(axis=1)
+        assert extra[defects.mask].mean() > extra[~defects.mask].mean()
+
+
+class TestParametricBank:
+    def test_shape_and_metadata(self, population):
+        process, _, defects = population
+        bank = ParametricTestBank(random_state=0)
+        data = bank.measure(process, defects, np.random.default_rng(1))
+        assert data.shape == (80, N_PARAMETRIC_TESTS)
+        names = bank.channel_names()
+        assert len(names) == N_PARAMETRIC_TESTS
+        assert len(set(names)) == N_PARAMETRIC_TESTS
+        temps = bank.channel_temperatures()
+        assert set(temps) == set(TEMPERATURES_C)
+
+    def test_all_finite(self, population):
+        process, _, defects = population
+        bank = ParametricTestBank(random_state=0)
+        data = bank.measure(process, defects, np.random.default_rng(1))
+        assert np.all(np.isfinite(data))
+
+    def test_iddq_tracks_leakage(self, population):
+        process, _, defects = population
+        bank = ParametricTestBank(relative_noise=0.001, random_state=0)
+        data = bank.measure(process, defects, np.random.default_rng(1))
+        names = bank.channel_names()
+        iddq_cols = [i for i, n in enumerate(names) if "iddq" in n and "_25C_" in n]
+        iddq_mean = data[:, iddq_cols].mean(axis=1)
+        corr = np.corrcoef(np.log(process.leakage_factor), iddq_mean)[0, 1]
+        assert corr > 0.5
+
+    def test_misc_channels_uninformative(self, population):
+        process, _, defects = population
+        bank = ParametricTestBank(random_state=0)
+        data = bank.measure(process, defects, np.random.default_rng(1))
+        names = bank.channel_names()
+        misc_cols = [i for i, n in enumerate(names) if "misc" in n]
+        correlations = [
+            abs(np.corrcoef(process.vth_shift, data[:, c])[0, 1]) for c in misc_cols[:30]
+        ]
+        assert np.mean(correlations) < 0.15
+
+    def test_vdd_trip_quantised(self, population):
+        process, _, defects = population
+        bank = ParametricTestBank(vdd_trip_step_v=0.005, random_state=0)
+        data = bank.measure(process, defects, np.random.default_rng(1))
+        names = bank.channel_names()
+        col = next(i for i, n in enumerate(names) if "vdd_trip" in n)
+        values = data[:, col]
+        np.testing.assert_allclose(values, np.round(values / 0.005) * 0.005, atol=1e-10)
+
+
+class TestScanVminModel:
+    def test_true_vmin_ordering_cold_worst(self, population):
+        process, aging, defects = population
+        model = ScanVminModel()
+        cold = model.true_vmin(process, aging, defects, -45.0, 0).mean()
+        room = model.true_vmin(process, aging, defects, 25.0, 0).mean()
+        hot = model.true_vmin(process, aging, defects, 125.0, 0).mean()
+        assert cold > hot > room
+
+    def test_vmin_increases_with_stress(self, population):
+        process, aging, defects = population
+        model = ScanVminModel()
+        fresh = model.true_vmin(process, aging, defects, 25.0, 0)
+        aged = model.true_vmin(process, aging, defects, 25.0, 1008)
+        assert np.all(aged >= fresh)
+
+    def test_measured_rounded_up_to_step(self, population):
+        process, aging, defects = population
+        model = ScanVminModel(ate_step_v=0.0025)
+        measured = model.measure(
+            process, aging, defects, 25.0, 0, np.random.default_rng(0)
+        )
+        np.testing.assert_allclose(
+            measured, np.round(measured / 0.0025) * 0.0025, atol=1e-12
+        )
+
+    def test_defective_chips_noisier(self, population):
+        process, aging, defects = population
+        model = ScanVminModel(defect_noise_factor=3.0)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(1)
+        a = model.measure(process, aging, defects, 25.0, 0, rng_a)
+        b = model.measure(process, aging, defects, 25.0, 0, rng_b)
+        spread = np.abs(a - b)
+        assert spread[defects.mask].mean() > spread[~defects.mask].mean()
+
+    def test_slow_silicon_needs_more_voltage(self, population):
+        process, aging, defects = population
+        model = ScanVminModel()
+        vmin = model.true_vmin(process, aging, defects, 25.0, 0)
+        corr = np.corrcoef(process.vth_shift, vmin)[0, 1]
+        assert corr > 0.5
+
+    def test_rejects_unknown_temperature(self, population):
+        process, aging, defects = population
+        with pytest.raises(ValueError):
+            ScanVminModel().true_vmin(process, aging, defects, 85.0, 0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            ScanVminModel(ate_step_v=0.0)

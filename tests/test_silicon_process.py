@@ -1,0 +1,167 @@
+"""Tests for process variation, aging, and defect models."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.aging import AgingModel
+from repro.silicon.defects import DefectModel
+from repro.silicon.process import ProcessSample, ProcessVariationModel
+
+
+class TestProcessVariation:
+    def test_population_statistics(self):
+        model = ProcessVariationModel(vth_sigma_v=0.010)
+        sample = model.sample(5000, np.random.default_rng(0))
+        assert sample.vth_shift.std() == pytest.approx(0.010, rel=0.1)
+        assert abs(sample.vth_shift.mean()) < 0.001
+        assert np.median(sample.leakage_factor) == pytest.approx(1.0, rel=0.25)
+
+    def test_fast_silicon_leaks_more(self):
+        model = ProcessVariationModel()
+        sample = model.sample(5000, np.random.default_rng(1))
+        corr = np.corrcoef(sample.vth_shift, np.log(sample.leakage_factor))[0, 1]
+        # Default coupling 0.6 implies r ~ -0.29 analytically.
+        assert corr < -0.2
+
+    def test_deterministic_given_seed(self):
+        model = ProcessVariationModel()
+        a = model.sample(50, 7)
+        b = model.sample(50, 7)
+        np.testing.assert_array_equal(a.vth_shift, b.vth_shift)
+
+    def test_local_vth_combines_global_and_gradient(self):
+        sample = ProcessSample(
+            vth_shift=np.array([0.01]),
+            leff_shift=np.zeros(1),
+            leakage_factor=np.ones(1),
+            gradient_x=np.array([0.002]),
+            gradient_y=np.array([-0.001]),
+        )
+        local = sample.local_vth(np.array([1.0]), np.array([1.0]))
+        assert local[0, 0] == pytest.approx(0.01 + 0.002 - 0.001)
+
+    def test_local_vth_shape(self):
+        model = ProcessVariationModel()
+        sample = model.sample(10, 0)
+        local = sample.local_vth(np.linspace(-1, 1, 7), np.zeros(7))
+        assert local.shape == (10, 7)
+
+    def test_mismatch_shape_and_scale(self):
+        model = ProcessVariationModel()
+        mismatch = model.mismatch(200, 30, 0.002, np.random.default_rng(0))
+        assert mismatch.shape == (200, 30)
+        assert mismatch.std() == pytest.approx(0.002, rel=0.1)
+
+    def test_sample_validates_inputs(self):
+        with pytest.raises(ValueError):
+            ProcessVariationModel().sample(0, 0)
+        with pytest.raises(ValueError):
+            ProcessVariationModel(vth_sigma_v=0.0)
+
+    def test_process_sample_shape_validation(self):
+        with pytest.raises(ValueError):
+            ProcessSample(
+                vth_shift=np.zeros(3),
+                leff_shift=np.zeros(2),
+                leakage_factor=np.ones(3),
+                gradient_x=np.zeros(3),
+                gradient_y=np.zeros(3),
+            )
+
+
+class TestAging:
+    def test_zero_at_time_zero(self):
+        model = AgingModel()
+        aged = model.sample_amplitudes(np.zeros(20), np.random.default_rng(0))
+        np.testing.assert_array_equal(aged.vth_shift_at(0), 0.0)
+
+    def test_monotone_in_time(self):
+        model = AgingModel()
+        aged = model.sample_amplitudes(np.zeros(50), np.random.default_rng(0))
+        previous = aged.vth_shift_at(0)
+        for hours in (24, 48, 168, 504, 1008):
+            current = aged.vth_shift_at(hours)
+            assert np.all(current >= previous)
+            previous = current
+
+    def test_power_law_sublinear_early(self):
+        """BTI grows fastest early: half the shift accumulates well before
+        half the stress time."""
+        model = AgingModel(hci_median_v=1e-9)  # isolate the BTI term
+        aged = model.sample_amplitudes(np.zeros(500), np.random.default_rng(0))
+        mid = aged.vth_shift_at(504).mean()
+        full = aged.vth_shift_at(1008).mean()
+        assert mid > 0.5 * full
+
+    def test_median_magnitude_at_reference(self):
+        model = AgingModel(bti_median_v=0.018, hci_median_v=0.004)
+        aged = model.sample_amplitudes(np.zeros(5000), np.random.default_rng(0))
+        median = np.median(aged.vth_shift_at(1008))
+        assert median == pytest.approx(0.022, rel=0.15)
+
+    def test_fast_silicon_ages_harder(self):
+        model = AgingModel(vth_coupling=0.5)
+        vth = np.concatenate([np.full(2000, -0.01), np.full(2000, 0.01)])
+        aged = model.sample_amplitudes(vth, np.random.default_rng(0))
+        shift = aged.vth_shift_at(1008)
+        assert shift[:2000].mean() > shift[2000:].mean()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AgingModel(bti_exponent=1.5)
+        with pytest.raises(ValueError):
+            AgingModel(bti_median_v=0.0)
+
+    def test_negative_hours_rejected(self):
+        aged = AgingModel().sample_amplitudes(np.zeros(5), 0)
+        with pytest.raises(ValueError):
+            aged.vth_shift_at(-1)
+
+
+class TestDefects:
+    def test_defect_rate_approximate(self):
+        model = DefectModel(defect_rate=0.05)
+        pop = model.sample(20000, np.random.default_rng(0))
+        assert pop.n_defective / pop.n_chips == pytest.approx(0.05, abs=0.01)
+
+    def test_healthy_chips_have_zero_severity(self):
+        pop = DefectModel().sample(500, np.random.default_rng(1))
+        np.testing.assert_array_equal(pop.severity[~pop.mask], 0.0)
+
+    def test_penalty_worst_at_cold(self):
+        pop = DefectModel().sample(2000, np.random.default_rng(2))
+        cold = pop.vmin_penalty(-45.0, 0).sum()
+        room = pop.vmin_penalty(25.0, 0).sum()
+        hot = pop.vmin_penalty(125.0, 0).sum()
+        assert cold > hot > room
+
+    def test_penalty_grows_with_stress(self):
+        pop = DefectModel(growth=0.8).sample(2000, np.random.default_rng(3))
+        early = pop.vmin_penalty(25.0, 24).sum()
+        late = pop.vmin_penalty(25.0, 1008).sum()
+        assert late > early
+
+    def test_monitor_coupling_zero_for_healthy(self):
+        pop = DefectModel().sample(300, np.random.default_rng(4))
+        coupling = pop.monitor_coupling(np.zeros(3), np.zeros(3))
+        np.testing.assert_array_equal(coupling[~pop.mask], 0.0)
+
+    def test_monitor_coupling_decays_with_distance(self):
+        model = DefectModel(defect_rate=0.999)
+        pop = model.sample(200, np.random.default_rng(5))
+        near = pop.monitor_coupling(pop.location[:, 0], pop.location[:, 1])
+        far = pop.monitor_coupling(
+            pop.location[:, 0] + 3.0, pop.location[:, 1] + 3.0
+        )
+        defective = pop.mask
+        assert np.all(near[defective, np.arange(200)[defective]] >=
+                      far[defective, np.arange(200)[defective]])
+
+    def test_unknown_temperature_rejected(self):
+        pop = DefectModel().sample(10, 0)
+        with pytest.raises(ValueError, match="corner"):
+            pop.vmin_penalty(60.0, 0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            DefectModel(defect_rate=1.0)

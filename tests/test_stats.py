@@ -1,0 +1,99 @@
+"""Tests for fold-paired statistical comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    PairedComparison,
+    paired_fold_difference,
+    paired_permutation_test,
+    rank_models,
+)
+
+
+class TestPermutationTest:
+    def test_identical_scores_not_significant(self):
+        scores = [0.8, 0.7, 0.9, 0.75]
+        assert paired_permutation_test(scores, scores) == pytest.approx(1.0)
+
+    def test_consistent_direction_small_p(self):
+        a = [0.9, 0.91, 0.89, 0.92, 0.90, 0.91, 0.9, 0.92]
+        b = [0.7, 0.72, 0.71, 0.69, 0.70, 0.73, 0.68, 0.71]
+        # All 8 differences positive: p = 2/2^8 (both all-plus and
+        # all-minus assignments are as extreme).
+        assert paired_permutation_test(a, b) == pytest.approx(2 / 256)
+
+    def test_four_folds_floor(self):
+        """With 4 folds the smallest achievable p is 2/16: the paper's
+        protocol can never show p < 0.05 -- worth knowing."""
+        a = [0.9, 0.9, 0.9, 0.9]
+        b = [0.1, 0.1, 0.1, 0.1]
+        assert paired_permutation_test(a, b) == pytest.approx(2 / 16)
+
+    def test_symmetric_noise_large_p(self, rng):
+        a = rng.normal(size=12)
+        b = a + rng.normal(scale=1.0, size=12) * np.where(rng.random(12) < 0.5, 1, -1)
+        assert paired_permutation_test(a, b) > 0.05
+
+    def test_large_n_uses_sampling(self, rng):
+        a = rng.normal(size=30) + 2.0
+        b = rng.normal(size=30)
+        assert paired_permutation_test(a, b) < 0.01
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0, 2.0], [1.0])
+
+
+class TestPairedDifference:
+    def test_mean_and_ci_bracket(self, rng):
+        a = rng.normal(loc=1.0, scale=0.1, size=10)
+        b = rng.normal(loc=0.0, scale=0.1, size=10)
+        result = paired_fold_difference(a, b, seed=1)
+        assert isinstance(result, PairedComparison)
+        assert result.ci_low <= result.mean_difference <= result.ci_high
+        assert result.mean_difference == pytest.approx(1.0, abs=0.2)
+        assert result.significant
+
+    def test_no_difference_not_significant(self, rng):
+        a = rng.normal(size=8)
+        noise = rng.normal(scale=0.5, size=8)
+        result = paired_fold_difference(a, a + noise - noise.mean(), seed=2)
+        assert not result.significant or abs(result.mean_difference) < 0.2
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            paired_fold_difference([1.0, 2.0], [0.5, 1.0], confidence=1.5)
+
+
+class TestRankModels:
+    def test_clear_ordering(self):
+        ranks = rank_models(
+            {
+                "best": [0.9, 0.8, 0.95],
+                "mid": [0.7, 0.6, 0.9],
+                "worst": [0.1, 0.2, 0.3],
+            }
+        )
+        assert ranks["best"] == 1.0
+        assert ranks["mid"] == 2.0
+        assert ranks["worst"] == 3.0
+
+    def test_ties_share_average_rank(self):
+        ranks = rank_models({"a": [1.0], "b": [1.0]})
+        assert ranks["a"] == ranks["b"] == 1.5
+
+    def test_lower_is_better_mode(self):
+        ranks = rank_models(
+            {"small": [1.0, 2.0], "large": [10.0, 20.0]},
+            higher_is_better=False,
+        )
+        assert ranks["small"] == 1.0
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError, match="scenario counts"):
+            rank_models({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rank_models({})

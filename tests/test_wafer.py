@@ -1,0 +1,103 @@
+"""Tests for the wafer-hierarchy overlay."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.wafer import WaferLayout, WaferModel
+
+
+class TestWaferLayout:
+    def test_all_dies_inside_usable_radius(self):
+        layout = WaferLayout(dies_per_row=14, usable_fraction=0.95)
+        assert np.all(layout.radius() <= 0.95 + 1e-12)
+
+    def test_corner_cells_excluded(self):
+        layout = WaferLayout(dies_per_row=10)
+        # A full square grid would have 100 dies; the circle cuts corners.
+        assert layout.dies_per_wafer < 100
+        assert layout.dies_per_wafer > 50
+
+    def test_serpentine_order(self):
+        layout = WaferLayout(dies_per_row=6, usable_fraction=1.0)
+        coords = layout.coordinates()
+        # The two central rows are fully populated; row index 2 (even)
+        # runs left->right and row index 3 (odd) right->left.
+        ys = np.unique(coords[:, 1])
+        row_even = coords[coords[:, 1] == ys[2]]
+        row_odd = coords[coords[:, 1] == ys[3]]
+        assert np.all(np.diff(row_even[:, 0]) > 0)
+        assert np.all(np.diff(row_odd[:, 0]) < 0)
+
+    def test_zone_rings_ordered_by_radius(self):
+        layout = WaferLayout(dies_per_row=12)
+        zones = layout.zone(n_rings=3)
+        radius = layout.radius()
+        assert set(zones) == {0, 1, 2}
+        assert radius[zones == 0].max() <= radius[zones == 2].min() + 1e-12
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            WaferLayout(dies_per_row=1)
+        with pytest.raises(ValueError):
+            WaferLayout(usable_fraction=0.0)
+
+
+class TestWaferModel:
+    def test_chips_fill_wafers_in_order(self):
+        model = WaferModel(WaferLayout(dies_per_row=6))
+        per_wafer = model.layout.dies_per_wafer
+        provenance = model.sample(per_wafer + 5, 0)
+        assert provenance.wafer_id.max() == 1
+        assert np.sum(provenance.wafer_id == 0) == per_wafer
+        assert np.sum(provenance.wafer_id == 1) == 5
+
+    def test_overlay_shapes(self):
+        provenance = WaferModel().sample(156, 0)
+        assert provenance.vth_overlay_v.shape == (156,)
+        assert provenance.die_xy.shape == (156, 2)
+
+    def test_deterministic_given_seed(self):
+        a = WaferModel().sample(60, 42)
+        b = WaferModel().sample(60, 42)
+        np.testing.assert_array_equal(a.vth_overlay_v, b.vth_overlay_v)
+
+    def test_radial_signature_grows_with_radius(self):
+        # A single big wafer, no wafer-to-wafer terms, fixed sign.
+        model = WaferModel(
+            WaferLayout(dies_per_row=20),
+            wafer_sigma_v=0.0,
+            radial_amplitude_v=0.01,
+            radial_sigma_v=0.0,
+        )
+        provenance = model.sample(200, 3)
+        radius = np.hypot(provenance.die_xy[:, 0], provenance.die_xy[:, 1])
+        overlay = np.abs(provenance.vth_overlay_v)
+        inner = overlay[radius < 0.3].mean()
+        outer = overlay[radius > 0.7].mean()
+        assert outer > inner
+
+    def test_wafer_offsets_shared_within_wafer(self):
+        model = WaferModel(
+            WaferLayout(dies_per_row=6),
+            wafer_sigma_v=0.01,
+            radial_amplitude_v=0.0,
+            radial_sigma_v=0.0,
+        )
+        per_wafer = model.layout.dies_per_wafer
+        provenance = model.sample(per_wafer * 3, 7)
+        for wafer in range(3):
+            values = provenance.vth_overlay_v[provenance.wafer_id == wafer]
+            assert np.allclose(values, values[0])
+
+    def test_zone_labels_per_chip(self):
+        model = WaferModel()
+        provenance = model.sample(140, 0)
+        zones = provenance.zone(model.layout, n_rings=3)
+        assert zones.shape == (140,)
+        assert set(zones) <= {0, 1, 2}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            WaferModel(wafer_sigma_v=-1.0)
+        with pytest.raises(ValueError):
+            WaferModel().sample(0, 0)
