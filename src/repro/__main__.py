@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import zipfile
 from typing import List, Optional
 
 import numpy as np
@@ -25,7 +26,33 @@ from repro import SiliconDataset, VminPredictionFlow
 from repro.models import ObliviousBoostingRegressor
 from repro.silicon.io import export_flow_csv, load_measurements, save_measurements
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
+
+
+def _chip_count(text: str) -> int:
+    """argparse type for ``--chips``: an integer >= 2."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}")
+    if value < 2:
+        raise argparse.ArgumentTypeError(
+            f"--chips must be >= 2 (a lot needs at least two chips), got {value}"
+        )
+    return value
+
+
+def _seed_value(text: str) -> int:
+    """argparse type for ``--seed``: a non-negative integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--seed must be a non-negative integer, got {value}"
+        )
+    return value
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -110,6 +137,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the three-command argument parser (generate/info/predict)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Vmin interval prediction toolkit (DATE 2024 reproduction)",
@@ -120,8 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
         "generate", help="generate a synthetic lot and save its measurements"
     )
     generate.add_argument("output", help="output .npz path")
-    generate.add_argument("--chips", type=int, default=156)
-    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--chips", type=_chip_count, default=156)
+    generate.add_argument("--seed", type=_seed_value, default=0)
     generate.add_argument(
         "--flow-csv", default=None, help="also export the burn-in flow log CSV"
     )
@@ -142,14 +170,29 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--alpha", type=float, default=0.1)
     predict.add_argument("--holdout", type=float, default=0.25)
     predict.add_argument("--trees", type=int, default=100)
-    predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument("--seed", type=_seed_value, default=0)
     predict.set_defaults(handler=_cmd_predict)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.handler(args)
+    """Run the CLI; returns the process exit code (0 ok, 2 user error).
+
+    Argument errors (argparse's exit code 2) and predictable runtime
+    failures -- a dataset path that does not exist, a file that is not a
+    lot archive, an invalid parameter that slipped past argparse -- are
+    reported as one ``error:`` line on stderr, never a traceback.
+    """
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exit_request:  # argparse already printed the message
+        code = exit_request.code
+        return code if isinstance(code, int) else 2
+    try:
+        return args.handler(args)
+    except (ValueError, OSError, zipfile.BadZipFile) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,52 @@
+"""Development tooling enforcing the repository's reproducibility contracts.
+
+The coverage guarantee of split CP / CQR (:mod:`repro.core`) rests on
+statistical hygiene that ordinary review cannot reliably police: no
+module-level global RNG, no hidden state mutation inside ``predict``,
+no silently-skipped ``alpha`` validation.  ``repro.devtools`` provides
+``reprolint`` -- a stdlib-``ast`` static-analysis suite with
+domain-specific rules for scientific and conformal code -- so those
+contracts are machine-checked on every change.
+
+Run it as a module::
+
+    python -m repro.devtools.lint src tests
+
+or programmatically::
+
+    from repro.devtools import lint_paths
+    diagnostics = lint_paths(["src", "tests"])
+
+Rules, rationale, and the suppression syntax are documented in
+``docs/LINT.md``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.engine import (
+    LintEngine,
+    ModuleContext,
+    classify_role,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.reporters import render_json, render_text
+from repro.devtools.rules import ALL_RULES, get_rule, iter_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintConfig",
+    "LintEngine",
+    "ModuleContext",
+    "classify_role",
+    "get_rule",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,128 @@
+"""``[tool.reprolint]`` configuration loading.
+
+Configuration lives in ``pyproject.toml`` next to the code::
+
+    [tool.reprolint]
+    disable = ["REP108"]          # rule ids or names switched off
+    enable = []                   # when non-empty, ONLY these run
+    exclude = ["examples/*"]      # path globs never linted
+    test-dirs = ["tests"]         # directory names classified as tests
+
+TOML parsing uses :mod:`tomllib` (Python >= 3.11) and degrades
+gracefully: on older interpreters without ``tomli`` installed the
+defaults are used and a note is attached to :attr:`LintConfig.notes`
+-- the linter never gains a third-party dependency.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - exercised only on <3.11
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        _toml = None  # type: ignore[assignment]
+
+__all__ = ["LintConfig", "find_pyproject", "load_config"]
+
+_DEFAULT_TEST_DIRS = ("tests",)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration.
+
+    ``enable`` beats ``disable``: when ``enable`` is non-empty only the
+    listed rules run, mirroring how focused CI jobs are usually set up.
+    Entries may be rule ids (``REP102``) or names
+    (``no-float-equality``) interchangeably.
+    """
+
+    disable: FrozenSet[str] = frozenset()
+    enable: FrozenSet[str] = frozenset()
+    exclude: Tuple[str, ...] = ()
+    test_dirs: FrozenSet[str] = frozenset(_DEFAULT_TEST_DIRS)
+    notes: Tuple[str, ...] = ()
+
+    def rule_enabled(self, rule_id: str, rule_name: str) -> bool:
+        """Return whether a rule survives the enable/disable filters."""
+        keys = {rule_id, rule_name}
+        if self.enable:
+            return bool(keys & self.enable)
+        return not keys & self.disable
+
+    def is_excluded(self, path: str) -> bool:
+        """Return whether ``path`` matches any configured exclude glob."""
+        candidates = (path, Path(path).as_posix())
+        return any(
+            fnmatch.fnmatch(candidate, pattern)
+            for candidate in candidates
+            for pattern in self.exclude
+        )
+
+
+def find_pyproject(start: Optional[str] = None) -> Optional[Path]:
+    """Walk upward from ``start`` (default: cwd) to find pyproject.toml."""
+    here = Path(start or ".").resolve()
+    if here.is_file():
+        here = here.parent
+    for directory in (here, *here.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _as_str_tuple(value: Any, key: str) -> Tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ValueError(f"[tool.reprolint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(start: Optional[str] = None) -> LintConfig:
+    """Load ``[tool.reprolint]`` for the project containing ``start``.
+
+    Missing file, missing section, or an unavailable TOML parser all
+    yield the default config; malformed sections raise ``ValueError``
+    so CI fails loudly rather than silently linting with defaults.
+    """
+    pyproject = find_pyproject(start)
+    if pyproject is None:
+        return LintConfig()
+    if _toml is None:
+        return LintConfig(
+            notes=(
+                f"{pyproject}: [tool.reprolint] ignored -- no TOML parser "
+                "on this interpreter (Python < 3.11 without tomli)",
+            )
+        )
+    with open(pyproject, "rb") as handle:
+        data: Dict[str, Any] = _toml.load(handle)
+    section = data.get("tool", {}).get("reprolint")
+    if section is None:
+        return LintConfig()
+    if not isinstance(section, dict):
+        raise ValueError("[tool.reprolint] must be a table")
+    known = {"disable", "enable", "exclude", "test-dirs"}
+    unknown = set(section) - known
+    if unknown:
+        raise ValueError(
+            f"[tool.reprolint] has unknown keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    return LintConfig(
+        disable=frozenset(_as_str_tuple(section.get("disable", []), "disable")),
+        enable=frozenset(_as_str_tuple(section.get("enable", []), "enable")),
+        exclude=_as_str_tuple(section.get("exclude", []), "exclude"),
+        test_dirs=frozenset(
+            _as_str_tuple(section.get("test-dirs", list(_DEFAULT_TEST_DIRS)), "test-dirs")
+        ),
+    )

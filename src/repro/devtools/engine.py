@@ -1,0 +1,254 @@
+"""The reprolint engine: file collection, dispatch, suppressions.
+
+The engine owns everything rules should not have to care about:
+
+* walking directories for ``.py`` files and classifying each as
+  ``"src"`` or ``"test"`` (rules opt into roles via ``Rule.scopes``),
+* parsing each file once and annotating parent links on the tree,
+* a single shared AST walk with per-node-type dispatch to every
+  enabled rule (rules register handlers by defining ``visit_<Type>``),
+* ``# reprolint: disable=RULE`` inline suppressions, collected from the
+  token stream so they work on any line, and
+* deterministic ordering of the final diagnostic list.
+
+Files that fail to parse yield a single ``REP000`` parse-error
+diagnostic instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import PARSE_ERROR_ID, Diagnostic
+from repro.devtools.rules.base import Rule
+
+__all__ = [
+    "LintEngine",
+    "ModuleContext",
+    "annotate_parents",
+    "classify_role",
+    "collect_files",
+    "collect_suppressions",
+    "lint_paths",
+    "lint_source",
+]
+
+PARENT_ATTR = "_reprolint_parent"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\-\s]+)", re.IGNORECASE
+)
+
+
+def classify_role(path: str, config: Optional[LintConfig] = None) -> str:
+    """Classify ``path`` as ``"src"`` or ``"test"``.
+
+    A file is a test when any path component matches one of the
+    configured test directory names (default ``tests``) or its basename
+    looks like ``test_*.py`` / ``conftest.py``.  Everything else is
+    held to the stricter ``src`` contract.
+    """
+    config = config or LintConfig()
+    parts = Path(path).parts
+    if any(part in config.test_dirs for part in parts[:-1]):
+        return "test"
+    basename = Path(path).name
+    if basename.startswith("test_") or basename == "conftest.py":
+        return "test"
+    return "src"
+
+
+def collect_files(paths: Sequence[str], config: Optional[LintConfig] = None) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories are walked recursively; config ``exclude`` globs are
+    matched against the path as given (and its POSIX form), so both
+    ``src/repro/legacy/*`` and absolute patterns behave.  A path that
+    does not exist raises ``FileNotFoundError`` -- the CLI turns that
+    into exit code 2.
+    """
+    config = config or LintConfig()
+    found: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            found.extend(str(p) for p in sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            found.append(str(path))
+    return [p for p in found if not config.is_excluded(p)]
+
+
+def collect_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line numbers to the rule ids/names suppressed on that line.
+
+    Recognises ``# reprolint: disable=REP102`` and comma-separated
+    lists; the special token ``all`` silences every rule for the line.
+    Comments are read from the token stream, so suppressions attached
+    to continuation lines or after code both work.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if not match:
+                continue
+            names = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | names
+    except tokenize.TokenError:
+        # Unterminated strings etc.: the parse-error diagnostic covers it.
+        pass
+    return suppressions
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may need to know about the module being linted."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    role: str = "src"
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """Return whether an inline comment silences ``diagnostic``."""
+        active = self.suppressions.get(diagnostic.line)
+        if not active:
+            return False
+        return bool(
+            {"all", diagnostic.rule_id, diagnostic.rule_name} & active
+        )
+
+
+def annotate_parents(tree: ast.Module) -> None:
+    """Attach a parent link to every node (rules use it for placement)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, PARENT_ATTR, node)
+
+
+class LintEngine:
+    """Run a set of rules over modules with shared single-pass dispatch."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        config: Optional[LintConfig] = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        if rules is None:
+            # Imported lazily: rule modules import ModuleContext from this
+            # module, so a top-level registry import would be circular.
+            from repro.devtools.rules import ALL_RULES
+
+            selected = list(ALL_RULES)
+        else:
+            selected = list(rules)
+        self.rules: Tuple[Rule, ...] = tuple(
+            rule() if isinstance(rule, type) else rule
+            for rule in selected
+            if self.config.rule_enabled(
+                getattr(rule, "rule_id", ""), getattr(rule, "name", "")
+            )
+        )
+        # Dispatch table: node type -> [(rule, bound handler), ...].
+        self._dispatch: Dict[type, List[Tuple[Rule, str]]] = {}
+        for rule in self.rules:
+            for node_type, method_names in rule.handlers().items():
+                bucket = self._dispatch.setdefault(node_type, [])
+                bucket.extend((rule, name) for name in method_names)
+
+    def lint_source(
+        self, source: str, path: str = "<snippet>", role: Optional[str] = None
+    ) -> List[Diagnostic]:
+        """Lint a source string; the workhorse behind :meth:`lint_files`."""
+        if role is None:
+            role = classify_role(path, self.config)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    rule_name="parse-error",
+                    message=f"file could not be parsed: {error.msg}",
+                )
+            ]
+        annotate_parents(tree)
+        context = ModuleContext(
+            path=path,
+            source=source,
+            tree=tree,
+            role=role,
+            suppressions=collect_suppressions(source),
+        )
+        active = [rule for rule in self.rules if rule.applies_to(role)]
+        for rule in active:
+            rule.start_module(context)
+
+        findings: List[Diagnostic] = []
+        active_ids = {id(rule) for rule in active}
+        for node in ast.walk(tree):
+            handlers = self._dispatch.get(type(node))
+            if not handlers:
+                continue
+            for rule, method_name in handlers:
+                if id(rule) not in active_ids:
+                    continue
+                produced = getattr(rule, method_name)(node, context)
+                if produced:
+                    findings.extend(produced)
+        for rule in active:
+            findings.extend(rule.finish_module(context))
+
+        findings = [d for d in findings if not context.is_suppressed(d)]
+        return sorted(findings, key=Diagnostic.sort_key)
+
+    def lint_files(self, files: Iterable[str]) -> List[Diagnostic]:
+        """Lint each file on disk; unreadable files raise ``OSError``."""
+        findings: List[Diagnostic] = []
+        for file_path in files:
+            source = Path(file_path).read_text(encoding="utf-8")
+            findings.extend(self.lint_source(source, path=file_path))
+        return sorted(findings, key=Diagnostic.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint files and directories; the programmatic one-call entry point."""
+    config = config or LintConfig()
+    engine = LintEngine(rules=rules, config=config)
+    return engine.lint_files(collect_files(paths, config))
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    role: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string (rule unit tests and tooling use this)."""
+    engine = LintEngine(rules=rules, config=config)
+    return engine.lint_source(source, path=path, role=role)

@@ -1,0 +1,146 @@
+"""``python -m repro.devtools.lint`` -- the reprolint command line.
+
+Usage::
+
+    python -m repro.devtools.lint src tests            # lint, text report
+    python -m repro.devtools.lint --format json src    # machine-readable
+    python -m repro.devtools.lint --list-rules         # what runs and why
+    python -m repro.devtools.lint --disable REP108 src # ad-hoc rule filter
+
+Exit codes are stable for CI wiring:
+
+* ``0`` -- no findings,
+* ``1`` -- at least one finding (including unparseable files),
+* ``2`` -- usage or I/O error (unknown rule, missing path).
+
+Configuration is read from the nearest ``pyproject.toml``'s
+``[tool.reprolint]`` table unless ``--no-config`` is given; command
+line ``--enable``/``--disable`` are applied on top of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.engine import LintEngine, collect_files
+from repro.devtools.reporters import render_json, render_text
+from repro.devtools.rules import ALL_RULES, get_rule
+
+__all__ = ["build_parser", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "reprolint: AST-based reproducibility lint for scientific / "
+            "conformal-prediction code"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. 'src tests')",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--enable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rules (id or name; repeatable)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="switch these rules off (id or name; repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its rationale and exit",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.reprolint] in pyproject.toml",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        scopes = "+".join(sorted(rule.scopes))
+        lines.append(f"{rule.rule_id}  {rule.name}  ({scopes})")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    why: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    else:
+        anchor = args.paths[0] if args.paths else None
+        config = load_config(anchor)
+    # CLI filters compose with (and, for --enable, override) file config.
+    for identifier in (*args.enable, *args.disable):
+        get_rule(identifier)  # raises KeyError for unknown rules
+    if args.enable:
+        config = replace(config, enable=frozenset(args.enable), disable=frozenset())
+    if args.disable:
+        config = replace(config, disable=config.disable | frozenset(args.disable))
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try 'src tests')", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        config = _resolve_config(args)
+        files = collect_files(args.paths, config)
+        engine = LintEngine(config=config)
+        diagnostics = engine.lint_files(files)
+    except (KeyError, ValueError, OSError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for note in config.notes:
+        print(f"note: {note}", file=sys.stderr)
+    if args.format == "json":
+        print(render_json(diagnostics, checked_files=len(files)))
+    else:
+        print(render_text(diagnostics, checked_files=len(files)))
+    return EXIT_FINDINGS if diagnostics else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Render lint findings as human-readable text or machine-readable JSON.
+
+Both reporters are pure functions from a diagnostic list to a string so
+they stay trivially testable; the CLI decides where the string goes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.devtools.diagnostics import Diagnostic
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(diagnostics: Sequence[Diagnostic], checked_files: int = 0) -> str:
+    """GCC-style ``path:line:col: RULE [name] message`` lines plus summary."""
+    lines: List[str] = [
+        f"{d.location()}: {d.rule_id} [{d.rule_name}] {d.message}"
+        for d in diagnostics
+    ]
+    if diagnostics:
+        by_rule = Counter(d.rule_id for d in diagnostics)
+        breakdown = ", ".join(
+            f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"found {len(diagnostics)} issue(s) in {checked_files} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"checked {checked_files} file(s): all clean")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], checked_files: int = 0) -> str:
+    """Stable JSON document: ``{version, summary, diagnostics}``."""
+    by_rule = Counter(d.rule_id for d in diagnostics)
+    document = {
+        "version": 1,
+        "summary": {
+            "checked_files": checked_files,
+            "total": len(diagnostics),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "diagnostics": [d.as_dict() for d in diagnostics],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

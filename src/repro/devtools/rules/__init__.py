@@ -1,0 +1,65 @@
+"""The reprolint rule registry.
+
+``ALL_RULES`` is the ordered tuple of rule *classes* (the engine
+instantiates them per run, so rules can keep per-module state without
+cross-run leakage).  Adding a rule means: write the module, import the
+class here, append it to ``ALL_RULES``, document it in
+``docs/LINT.md``, and add fire/silent unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Type
+
+from repro.devtools.rules.asserts import NoAssertRule
+from repro.devtools.rules.base import Rule, dotted_name
+from repro.devtools.rules.defaults import MutableDefaultRule
+from repro.devtools.rules.docstrings import DocstringCoverageRule
+from repro.devtools.rules.estimator import EstimatorContractRule
+from repro.devtools.rules.exports import DunderAllRule
+from repro.devtools.rules.floats import FloatEqualityRule
+from repro.devtools.rules.rng import RngDisciplineRule
+from repro.devtools.rules.validation import AlphaValidationRule
+
+__all__ = [
+    "ALL_RULES",
+    "AlphaValidationRule",
+    "DocstringCoverageRule",
+    "DunderAllRule",
+    "EstimatorContractRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "NoAssertRule",
+    "RngDisciplineRule",
+    "Rule",
+    "dotted_name",
+    "get_rule",
+    "iter_rules",
+]
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    RngDisciplineRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    NoAssertRule,
+    DunderAllRule,
+    EstimatorContractRule,
+    AlphaValidationRule,
+    DocstringCoverageRule,
+)
+
+
+def iter_rules() -> Iterator[Type[Rule]]:
+    """Iterate registered rule classes in id order."""
+    return iter(ALL_RULES)
+
+
+def get_rule(identifier: str) -> Type[Rule]:
+    """Look a rule class up by id (``REP101``) or name (``rng-discipline``)."""
+    for rule in ALL_RULES:
+        if identifier in (rule.rule_id, rule.name):
+            return rule
+    raise KeyError(
+        f"unknown rule {identifier!r}; known rules: "
+        + ", ".join(f"{r.rule_id} ({r.name})" for r in ALL_RULES)
+    )

@@ -1,0 +1,103 @@
+"""Rule protocol: how a reprolint check plugs into the engine.
+
+A rule is a small stateful object.  For every module the engine calls
+:meth:`Rule.start_module`, then dispatches AST nodes to ``visit_<Type>``
+methods (single shared tree walk -- rules never re-walk the tree
+themselves unless they need a private pre-pass), then collects any
+module-level findings from :meth:`Rule.finish_module`.  Handlers yield
+:class:`~repro.devtools.diagnostics.Diagnostic` objects; the engine
+applies inline suppressions and config filtering afterwards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Tuple
+
+from repro.devtools.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.devtools.engine import ModuleContext
+
+__all__ = ["Rule", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Resolve an ``ast.Attribute``/``ast.Name`` chain to ``"a.b.c"``.
+
+    Returns an empty string for expressions that are not plain dotted
+    access (subscripts, calls, literals), which callers treat as
+    "cannot tell -- do not flag".
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class Rule:
+    """Base class for all reprolint rules.
+
+    Class attributes
+    ----------------
+    rule_id:
+        Stable machine id (``"REP1xx"``); used in reports, config, and
+        ``# reprolint: disable=`` comments.
+    name:
+        Human-readable slug, also accepted in suppressions and config.
+    summary:
+        One-line description shown by ``--list-rules``.
+    rationale:
+        Why the rule exists (surfaces in ``--list-rules --verbose`` and
+        docs).
+    scopes:
+        File roles the rule applies to: ``"src"``, ``"test"`` or both.
+        Path→role classification lives in the engine.
+    """
+
+    rule_id: str = "REP999"
+    name: str = "abstract-rule"
+    summary: str = ""
+    rationale: str = ""
+    scopes: FrozenSet[str] = frozenset({"src"})
+
+    def applies_to(self, role: str) -> bool:
+        """Return whether this rule runs on files classified as ``role``."""
+        return role in self.scopes
+
+    def start_module(self, context: "ModuleContext") -> None:
+        """Reset per-module state; rules needing a pre-pass do it here."""
+
+    def finish_module(self, context: "ModuleContext") -> Iterable[Diagnostic]:
+        """Yield findings that need the whole module to have been seen."""
+        return ()
+
+    def handlers(self) -> Dict[type, Tuple[str, ...]]:
+        """Map AST node types to the names of ``visit_*`` methods defined.
+
+        The engine uses this to dispatch each node exactly once per rule
+        without ``getattr`` probing on every node.
+        """
+        table: Dict[type, Tuple[str, ...]] = {}
+        for attr in dir(self):
+            if not attr.startswith("visit_"):
+                continue
+            node_type = getattr(ast, attr[len("visit_") :], None)
+            if isinstance(node_type, type) and issubclass(node_type, ast.AST):
+                table[node_type] = table.get(node_type, ()) + (attr,)
+        return table
+
+    def diagnostic(self, node: ast.AST, context: "ModuleContext", message: str) -> Diagnostic:
+        """Build a :class:`Diagnostic` for ``node`` in this rule's name."""
+        return Diagnostic(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            message=message,
+        )

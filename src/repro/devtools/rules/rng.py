@@ -1,0 +1,119 @@
+"""REP101 -- RNG discipline: no legacy ``numpy.random`` module calls.
+
+Calls like ``np.random.seed(...)`` or ``np.random.normal(...)`` draw
+from (or mutate) one hidden process-global ``RandomState``.  Any such
+call makes results depend on import order and on every other draw in
+the process -- which silently breaks the exchangeability that the
+conformal coverage guarantee rests on, and makes experiments
+irreproducible.  The repository contract is explicit generator
+passing: accept a seed/``np.random.Generator`` parameter and thread it
+through (see ``repro.models.base.check_random_state``).
+
+Flags, in both src and tests:
+
+* calls to anything under ``numpy.random`` except the explicitly
+  allowed modern constructors (``default_rng``, ``Generator``,
+  ``SeedSequence`` and the bit generators),
+* the same functions imported directly (``from numpy.random import
+  seed``) and then called,
+* ``numpy.random.RandomState(...)`` -- legacy even when seeded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from typing import TYPE_CHECKING
+
+from repro.devtools.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.devtools.engine import ModuleContext
+from repro.devtools.rules.base import Rule, dotted_name
+
+__all__ = ["RngDisciplineRule"]
+
+_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class RngDisciplineRule(Rule):
+    """Forbid the process-global legacy ``numpy.random`` API."""
+
+    rule_id = "REP101"
+    name = "rng-discipline"
+    summary = "no np.random.seed / legacy global-state np.random calls"
+    rationale = (
+        "global RNG state couples every draw in the process; conformal "
+        "splits must come from an explicitly passed np.random.Generator"
+    )
+    scopes = frozenset({"src", "test"})
+
+    def start_module(self, context: ModuleContext) -> None:
+        # Pre-pass: map local aliases to the dotted modules/names they
+        # denote, so np.random.normal, numpy.random.normal and a bare
+        # `normal` from `from numpy.random import normal` all resolve.
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def _resolve(self, node: ast.AST) -> str:
+        dotted = dotted_name(node)
+        if not dotted:
+            return ""
+        head, _, rest = dotted.partition(".")
+        head = self._aliases.get(head, head)
+        full = f"{head}.{rest}" if rest else head
+        # Normalise the conventional alias even without a visible import
+        # (conftest injections, doctest namespaces).
+        if full == "np.random" or full.startswith("np.random."):
+            full = "numpy" + full[len("np") :]
+        return full
+
+    def visit_Call(self, node: ast.Call, context: ModuleContext) -> Iterator[Diagnostic]:
+        """Flag calls resolving into the legacy ``numpy.random`` surface."""
+        full = self._resolve(node.func)
+        if not full.startswith("numpy.random."):
+            return
+        member = full[len("numpy.random.") :].split(".")[0]
+        if member in _ALLOWED:
+            return
+        if member == "seed":
+            advice = (
+                "np.random.seed mutates the process-global RNG; pass an "
+                "explicit np.random.Generator (see check_random_state) instead"
+            )
+        elif member == "RandomState":
+            advice = (
+                "np.random.RandomState is the legacy RNG; construct "
+                "np.random.default_rng(seed) instead"
+            )
+        else:
+            advice = (
+                f"np.random.{member} draws from the hidden global RandomState; "
+                "call the method on an explicitly passed np.random.Generator"
+            )
+        yield self.diagnostic(node, context, advice)

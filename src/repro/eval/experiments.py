@@ -366,6 +366,8 @@ def run_region_experiment(
     see all raw columns -- the Section IV-C/IV-E configuration.
     """
     profile = profile or ExperimentProfile.full()
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
     if method_name not in REGION_METHOD_NAMES:
         raise ValueError(
             f"unknown region method {method_name!r}; expected {REGION_METHOD_NAMES}"

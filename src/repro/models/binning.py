@@ -14,7 +14,12 @@ from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["FeatureBinner", "quantile_bin_edges"]
+__all__ = [
+    "FeatureBinner",
+    "histogram_cells",
+    "histogram_sums",
+    "quantile_bin_edges",
+]
 
 
 def quantile_bin_edges(column: np.ndarray, max_bins: int) -> np.ndarray:

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.models.base import BaseRegressor, check_fitted, clone
 
-__all__ = ["QuantileBandRegressor"]
+__all__ = ["PackageDefaultQuantileBand", "QuantileBandRegressor"]
 
 
 class QuantileBandRegressor(BaseRegressor):
@@ -41,7 +41,9 @@ class QuantileBandRegressor(BaseRegressor):
     The two quantile models are trained independently, so on hard data the
     raw band may cross (lower above upper).  ``predict_interval`` applies
     the standard monotonicity fix of sorting the two bounds per sample;
-    the crossing rate is exposed as ``crossing_rate_`` for diagnostics.
+    the in-sample crossing rate is computed once by ``fit`` and exposed as
+    ``crossing_rate_`` for diagnostics (prediction itself is read-only, as
+    the estimator contract requires).
     """
 
     def __init__(self, template: BaseRegressor, alpha: float = 0.1) -> None:
@@ -58,9 +60,13 @@ class QuantileBandRegressor(BaseRegressor):
         return self.alpha / 2.0, 1.0 - self.alpha / 2.0
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "QuantileBandRegressor":
+        """Fit the lower/upper quantile clones and the crossing diagnostic."""
         q_lo, q_hi = self.quantiles
         self.lower_ = clone(self.template, quantile=q_lo).fit(X, y)
         self.upper_ = clone(self.template, quantile=q_hi).fit(X, y)
+        self.crossing_rate_ = float(
+            np.mean(self.lower_.predict(X) > self.upper_.predict(X))
+        )
         return self
 
     def predict_interval(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -68,7 +74,6 @@ class QuantileBandRegressor(BaseRegressor):
         check_fitted(self, "lower_")
         raw_lower = self.lower_.predict(X)
         raw_upper = self.upper_.predict(X)
-        self.crossing_rate_ = float(np.mean(raw_lower > raw_upper))
         lower = np.minimum(raw_lower, raw_upper)
         upper = np.maximum(raw_lower, raw_upper)
         return lower, upper
@@ -134,6 +139,7 @@ class PackageDefaultQuantileBand(BaseRegressor):
         self.upper_: Optional[BaseRegressor] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "PackageDefaultQuantileBand":
+        """Fit both members on the (median) loss quantile, as the trap does."""
         from repro.models.base import check_random_state
 
         rng = check_random_state(self.random_state)
@@ -144,6 +150,9 @@ class PackageDefaultQuantileBand(BaseRegressor):
                 member.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
             members.append(member.fit(X, y))
         self.lower_, self.upper_ = members
+        self.crossing_rate_ = float(
+            np.mean(self.lower_.predict(X) > self.upper_.predict(X))
+        )
         return self
 
     def predict_interval(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -151,7 +160,6 @@ class PackageDefaultQuantileBand(BaseRegressor):
         check_fitted(self, "lower_")
         raw_lower = self.lower_.predict(X)
         raw_upper = self.upper_.predict(X)
-        self.crossing_rate_ = float(np.mean(raw_lower > raw_upper))
         lower = np.minimum(raw_lower, raw_upper)
         upper = np.maximum(raw_lower, raw_upper)
         return lower, upper

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.models.base import check_random_state
 
-__all__ = ["AgingModel"]
+__all__ = ["AgedPopulation", "AgingModel"]
 
 
 class AgingModel:

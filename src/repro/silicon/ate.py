@@ -33,7 +33,7 @@ from repro.silicon.constants import (
 )
 from repro.silicon.dataset import SiliconDataset
 
-__all__ = ["BurnInFlowSimulator", "MeasurementRecord"]
+__all__ = ["BurnInFlowSimulator", "FlowLog", "MeasurementRecord"]
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,27 @@ land in the same regime as the paper's Table III.
 
 from __future__ import annotations
 
+__all__ = [
+    "CPD_TEMPERATURE_C",
+    "MILLIVOLT",
+    "MIN_SPEC_V",
+    "N_CHIPS_DEFAULT",
+    "N_CPD_SENSORS",
+    "N_PARAMETRIC_TESTS",
+    "N_ROD_SENSORS",
+    "PICOSECOND",
+    "READ_POINTS_HOURS",
+    "ROD_TEMPERATURE_C",
+    "STRESS_TEMPERATURE_C",
+    "STRESS_VOLTAGE_V",
+    "TEMPERATURES_C",
+    "THERMAL_VOLTAGE_V",
+    "VMIN_BASE_V",
+    "V_NOMINAL_V",
+    "validate_read_point",
+    "validate_temperature",
+]
+
 # -- Table II geometry -------------------------------------------------------
 N_CHIPS_DEFAULT = 156
 """Number of chips in the paper's population."""

@@ -53,7 +53,15 @@ _FAMILY_SIZES = {
     "misc": 100,
 }
 _CHANNELS_PER_CORNER = sum(_FAMILY_SIZES.values())  # 600
-assert _CHANNELS_PER_CORNER * len(TEMPERATURES_C) == N_PARAMETRIC_TESTS
+if _CHANNELS_PER_CORNER * len(TEMPERATURES_C) != N_PARAMETRIC_TESTS:
+    # Import-time consistency check: unlike an assert this survives
+    # `python -O`, so a drifted family table can never silently ship
+    # measurement blocks that disagree with the Table-II geometry.
+    raise ValueError(
+        f"parametric family sizes are inconsistent with Table II: "
+        f"{_CHANNELS_PER_CORNER} channels x {len(TEMPERATURES_C)} corners "
+        f"!= {N_PARAMETRIC_TESTS}"
+    )
 
 
 class ParametricTestBank:

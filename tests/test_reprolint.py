@@ -1,0 +1,36 @@
+"""Self-check: the shipped tree must be reprolint-clean.
+
+This is the acceptance gate for the whole suite: running every rule
+(with the project's ``[tool.reprolint]`` configuration) over ``src``
+and ``tests`` yields zero findings, and the CLI agrees via its exit
+code.  Any regression that reintroduces a legacy RNG call, a bare
+assert in src, a drifting ``__all__`` etc. fails here before it
+reaches CI.
+"""
+
+from pathlib import Path
+
+from repro.devtools import lint_paths, load_config
+from repro.devtools.lint import EXIT_CLEAN, main
+from repro.devtools.reporters import render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def tree_findings():
+    config = load_config(str(REPO_ROOT))
+    return lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], config=config
+    )
+
+
+def test_src_and_tests_are_lint_clean():
+    findings = tree_findings()
+    assert findings == [], "\n" + render_text(findings, checked_files=0)
+
+
+def test_cli_exits_clean_on_repo(capsys):
+    code = main([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    out = capsys.readouterr().out
+    assert code == EXIT_CLEAN, out
+    assert "all clean" in out

@@ -1,0 +1,243 @@
+"""Engine-level tests for reprolint: role classification, file
+collection, suppressions, config loading, reporters, and CLI exit
+codes."""
+
+import json
+
+import pytest
+
+from repro.devtools import (
+    Diagnostic,
+    LintConfig,
+    classify_role,
+    lint_source,
+    load_config,
+    render_json,
+    render_text,
+)
+from repro.devtools.engine import collect_files, collect_suppressions
+from repro.devtools.lint import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+from repro.devtools.rules import ALL_RULES, get_rule
+
+
+class TestClassifyRole:
+    @pytest.mark.parametrize(
+        "path",
+        ["tests/test_models.py", "tests/helpers.py", "pkg/tests/inner.py"],
+    )
+    def test_tests_directory(self, path):
+        assert classify_role(path) == "test"
+
+    @pytest.mark.parametrize("path", ["test_standalone.py", "conftest.py"])
+    def test_test_basenames(self, path):
+        assert classify_role(path) == "test"
+
+    @pytest.mark.parametrize(
+        "path", ["src/repro/models/cqr.py", "src/repro/__main__.py", "setup.py"]
+    )
+    def test_source_files(self, path):
+        assert classify_role(path) == "src"
+
+    def test_custom_test_dirs(self):
+        config = LintConfig(test_dirs=frozenset({"checks"}))
+        assert classify_role("checks/probe.py", config) == "test"
+        assert classify_role("tests/probe.py", config) == "src"
+
+
+class TestCollectFiles:
+    def test_walks_directories_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        files = collect_files([str(tmp_path)])
+        assert [f.rsplit("/", 1)[-1] for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            collect_files(["/no/such/path_anywhere"])
+
+    def test_exclude_globs(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        (tmp_path / "skip.py").write_text("x = 1\n")
+        config = LintConfig(exclude=("*skip.py",))
+        files = collect_files([str(tmp_path)], config)
+        assert [f.rsplit("/", 1)[-1] for f in files] == ["keep.py"]
+
+
+class TestSuppressionParsing:
+    def test_comma_separated_list(self):
+        marks = collect_suppressions("x = 1  # reprolint: disable=REP101, REP104\n")
+        assert marks[1] == frozenset({"REP101", "REP104"})
+
+    def test_plain_comments_ignored(self):
+        assert collect_suppressions("x = 1  # a normal comment\n") == {}
+
+    def test_unterminated_source_does_not_crash(self):
+        assert collect_suppressions("s = '''open\n") == {}
+
+
+class TestLintConfig:
+    def test_enable_beats_disable(self):
+        config = LintConfig(
+            enable=frozenset({"REP104"}), disable=frozenset({"REP104"})
+        )
+        assert config.rule_enabled("REP104", "no-assert-in-src")
+        assert not config.rule_enabled("REP101", "rng-discipline")
+
+    def test_disable_accepts_names_and_ids(self):
+        config = LintConfig(disable=frozenset({"rng-discipline"}))
+        assert not config.rule_enabled("REP101", "rng-discipline")
+        assert config.rule_enabled("REP104", "no-assert-in-src")
+
+
+class TestLoadConfig:
+    def write_pyproject(self, tmp_path, body):
+        (tmp_path / "pyproject.toml").write_text(body)
+        return str(tmp_path / "anything.py")
+
+    def test_reads_section(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path,
+            '[tool.reprolint]\ndisable = ["REP108"]\nexclude = ["legacy/*"]\n'
+            'test-dirs = ["tests", "checks"]\n',
+        )
+        config = load_config(anchor)
+        assert config.disable == frozenset({"REP108"})
+        assert config.exclude == ("legacy/*",)
+        assert config.test_dirs == frozenset({"tests", "checks"})
+
+    def test_missing_section_gives_defaults(self, tmp_path):
+        anchor = self.write_pyproject(tmp_path, '[project]\nname = "x"\n')
+        assert load_config(anchor) == LintConfig()
+
+    def test_unknown_key_raises(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path, '[tool.reprolint]\ntypo-key = ["REP101"]\n'
+        )
+        with pytest.raises(ValueError, match="unknown keys"):
+            load_config(anchor)
+
+    def test_wrong_type_raises(self, tmp_path):
+        anchor = self.write_pyproject(tmp_path, '[tool.reprolint]\ndisable = "REP101"\n')
+        with pytest.raises(ValueError, match="list of strings"):
+            load_config(anchor)
+
+
+class TestEngineBehaviour:
+    def test_syntax_error_becomes_rep000(self):
+        findings = lint_source("def broken(:\n", path="src/pkg/bad.py")
+        assert [f.rule_id for f in findings] == ["REP000"]
+        assert findings[0].rule_name == "parse-error"
+
+    def test_config_disable_filters_rules(self):
+        code = "def f(x):\n    assert x\n    return x\n"
+        config = LintConfig(disable=frozenset({"REP104"}))
+        hits = lint_source(code, path="src/pkg/mod.py", config=config)
+        assert "REP104" not in {f.rule_id for f in hits}
+
+    def test_findings_are_sorted(self):
+        code = (
+            "import numpy as np\n"
+            "def f(x, cache={}):\n"
+            "    assert x\n"
+            "    np.random.seed(0)\n"
+            "    return cache\n"
+        )
+        findings = lint_source(code, path="src/pkg/mod.py")
+        positions = [(f.line, f.column, f.rule_id) for f in findings]
+        assert positions == sorted(positions)
+
+    def test_get_rule_round_trip(self):
+        for rule in ALL_RULES:
+            assert get_rule(rule.rule_id) is rule
+            assert get_rule(rule.name) is rule
+        with pytest.raises(KeyError):
+            get_rule("REP999")
+
+
+class TestReporters:
+    def make_diag(self):
+        return Diagnostic(
+            path="src/m.py",
+            line=3,
+            column=4,
+            rule_id="REP104",
+            rule_name="no-assert-in-src",
+            message="assert found",
+        )
+
+    def test_text_clean(self):
+        assert render_text([], checked_files=5) == "checked 5 file(s): all clean"
+
+    def test_text_with_findings(self):
+        out = render_text([self.make_diag()], checked_files=2)
+        assert "src/m.py:3:4: REP104 [no-assert-in-src] assert found" in out
+        assert "found 1 issue(s) in 2 file(s) (REP104: 1)" in out
+
+    def test_json_document(self):
+        document = json.loads(render_json([self.make_diag()], checked_files=2))
+        assert document["version"] == 1
+        assert document["summary"] == {
+            "checked_files": 2,
+            "total": 1,
+            "by_rule": {"REP104": 1},
+        }
+        assert document["diagnostics"][0]["rule_id"] == "REP104"
+
+
+class TestCli:
+    def write(self, tmp_path, name, body):
+        target = tmp_path / name
+        target.write_text(body)
+        return str(target)
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = self.write(
+            tmp_path,
+            "clean.py",
+            '"""Docstring."""\n\n__all__ = ["f"]\n\n\ndef f():\n'
+            '    """Return one."""\n    return 1\n',
+        )
+        assert main(["--no-config", clean]) == EXIT_CLEAN
+        assert "all clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        dirty = self.write(tmp_path, "dirty.py", "def f(x):\n    assert x\n")
+        assert main(["--no-config", dirty]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "REP104" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["--no-config", "/no/such/dir"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        clean = self.write(tmp_path, "x.py", "x = 1\n")
+        assert main(["--no-config", "--disable", "REP999", clean]) == EXIT_ERROR
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_paths_exits_two(self, capsys):
+        assert main(["--no-config"]) == EXIT_ERROR
+        assert "no paths" in capsys.readouterr().err
+
+    def test_enable_narrows_to_one_rule(self, tmp_path, capsys):
+        dirty = self.write(
+            tmp_path, "dirty.py", "def f(x):\n    assert x\n    return None\n"
+        )
+        assert main(["--no-config", "--enable", "REP101", dirty]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        dirty = self.write(tmp_path, "dirty.py", "def f(x):\n    assert x\n")
+        assert main(["--no-config", "--format", "json", dirty]) == EXIT_FINDINGS
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["by_rule"].get("REP104") == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
