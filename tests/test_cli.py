@@ -32,6 +32,55 @@ class TestGenerate:
         assert csv_path.exists()
 
 
+class TestGenerateErrors:
+    def test_chips_below_minimum_is_usage_error(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "lot.npz"), "--chips", "1"])
+        assert code == 2
+        assert "--chips must be >= 2" in capsys.readouterr().err
+
+    def test_chips_not_an_integer_is_usage_error(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "lot.npz"), "--chips", "many"])
+        assert code == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_negative_seed_is_usage_error(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "lot.npz"), "--seed=-3"])
+        assert code == 2
+        assert "--seed must be a non-negative integer" in capsys.readouterr().err
+
+    def test_unwritable_output_is_error_not_traceback(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "lot.npz"
+        code = main(["generate", str(target), "--chips", "10"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfoErrors:
+    def test_missing_dataset_is_error_not_traceback(self, tmp_path, capsys):
+        code = main(["info", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_archive_dataset_is_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_text("this is not a zip archive")
+        code = main(["info", str(bogus)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPredictErrors:
+    def test_missing_dataset_is_error(self, tmp_path, capsys):
+        code = main(["predict", "--dataset", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_negative_seed_is_usage_error(self, capsys):
+        code = main(["predict", "--seed=-1"])
+        assert code == 2
+        capsys.readouterr()
+
+
 class TestInfo:
     def test_describes_saved_lot(self, tmp_path, capsys):
         path = tmp_path / "lot.npz"
