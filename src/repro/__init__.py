@@ -16,7 +16,9 @@ substrate the paper depends on:
 * :mod:`repro.flow` -- the Fig.-1 prediction flow and interval-based
   production screening,
 * :mod:`repro.eval` -- the 4-fold-CV evaluation protocol and the
-  experiment registry behind every reproduced table/figure.
+  experiment registry behind every reproduced table/figure,
+* :mod:`repro.robust` -- fault injection, graceful degradation, and
+  coverage-drift monitoring for the deployed serving flow.
 
 Quickstart::
 
@@ -53,6 +55,13 @@ from repro.models import (
     QuantileBandRegressor,
     QuantileLinearRegression,
 )
+from repro.robust import (
+    DegradationPolicy,
+    DegradationStatus,
+    DegradedPrediction,
+    FaultCampaign,
+    RobustVminFlow,
+)
 from repro.silicon import SiliconDataset
 
 __version__ = "1.0.0"
@@ -62,6 +71,10 @@ __all__ = [
     "CVPlusRegressor",
     "ConformalizedQuantileRegressor",
     "DeepEnsembleRegressor",
+    "DegradationPolicy",
+    "DegradationStatus",
+    "DegradedPrediction",
+    "FaultCampaign",
     "FeatureSet",
     "GaussianProcessRegressor",
     "GradientBoostingRegressor",
@@ -74,6 +87,7 @@ __all__ = [
     "PredictionIntervals",
     "QuantileBandRegressor",
     "QuantileLinearRegression",
+    "RobustVminFlow",
     "SiliconDataset",
     "SpecScreeningPolicy",
     "SplitConformalRegressor",

@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.calibration import conformal_quantile
 from repro.core.intervals import PredictionIntervals
 from repro.core.scores import cqr_score
-from repro.models.base import BaseRegressor, check_X_y
+from repro.models.base import BaseRegressor, check_fitted, check_X_y
 from repro.models.quantile import QuantileBandRegressor
 
 __all__ = ["AdaptiveConformalPredictor"]
@@ -90,11 +90,58 @@ class AdaptiveConformalPredictor:
         self.error_history_: List[bool] = []
         return self
 
+    @classmethod
+    def from_fitted(
+        cls,
+        band,
+        scores,
+        alpha: float = 0.1,
+        gamma: float = 0.05,
+        window: Optional[int] = None,
+    ) -> "AdaptiveConformalPredictor":
+        """Warm-start the streaming predictor around an already-fitted band.
+
+        This is the recalibration hook used by
+        :class:`repro.robust.RobustVminFlow`: a deployed split-CQR model
+        already owns a fitted quantile band and a set of calibration
+        scores, and re-fitting from scratch on a test floor is wasteful.
+        ``from_fitted`` adopts both directly, so the Gibbs-Candès updates
+        begin from the deployed model's state.
+
+        Parameters
+        ----------
+        band:
+            A fitted band exposing ``predict_interval(X) -> (lower, upper)``
+            (e.g. ``ConformalizedQuantileRegressor.band_``).
+        scores:
+            Seed CQR calibration scores (e.g.
+            ``ConformalizedQuantileRegressor.calibration_scores_``).
+        alpha, gamma, window:
+            As in the constructor.
+        """
+        if not hasattr(band, "predict_interval"):
+            raise TypeError(
+                f"band of type {type(band).__name__} has no predict_interval"
+            )
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        if scores.size == 0:
+            raise ValueError("scores must be a non-empty 1-D array")
+        if not np.all(np.isfinite(scores)):
+            raise ValueError("scores must be finite")
+        predictor = cls(
+            getattr(band, "template", None), alpha=alpha, gamma=gamma, window=window
+        )
+        predictor.band_ = band
+        predictor._scores = [float(s) for s in scores]
+        predictor._alpha_t = alpha
+        predictor.alpha_history_ = [alpha]
+        predictor.error_history_ = []
+        return predictor
+
     @property
     def alpha_t(self) -> float:
         """Current adapted miscoverage level."""
-        if self.band_ is None:
-            raise RuntimeError("AdaptiveConformalPredictor is not fitted")
+        check_fitted(self, "band_")
         return self._alpha_t
 
     def _current_scores(self) -> np.ndarray:
@@ -105,8 +152,7 @@ class AdaptiveConformalPredictor:
 
     def predict_interval(self, X: np.ndarray) -> PredictionIntervals:
         """Interval at the *current* adapted level ``α_t``."""
-        if self.band_ is None:
-            raise RuntimeError("AdaptiveConformalPredictor is not fitted")
+        check_fitted(self, "band_")
         scores = self._current_scores()
         # alpha_t may drift outside (0, 1) under heavy drift; clamp the
         # quantile lookup while keeping the raw alpha_t for the dynamics.

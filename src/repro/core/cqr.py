@@ -107,8 +107,13 @@ class ConformalizedQuantileRegressor(BaseRegressor):
 
         cal_lower, cal_upper = band.predict_interval(X[cal_idx])
         y_cal = y[cal_idx]
+        # The two-sided scores are stored for downstream consumers that
+        # recalibrate online from the deployed model's state (see
+        # AdaptiveConformalPredictor.from_fitted), whichever variant
+        # computes the margins below.
+        self.calibration_scores_ = cqr_score(y_cal, cal_lower, cal_upper)
         if self.symmetric:
-            scores = cqr_score(y_cal, cal_lower, cal_upper)
+            scores = self.calibration_scores_
             self.quantile_low_ = conformal_quantile(scores, self.alpha)
             self.quantile_high_ = self.quantile_low_
         else:

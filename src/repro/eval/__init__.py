@@ -4,7 +4,9 @@ Implements the paper's protocol (Section IV-B): 4-fold cross-validation
 with a shared seed across all methods, :math:`R^2`/RMSE for point
 prediction, and average interval length / empirical coverage for region
 prediction.  :mod:`repro.eval.experiments` encodes each table and figure
-of the paper as a declarative experiment the benchmark harness runs.
+of the paper as a declarative experiment the benchmark harness runs, and
+:mod:`repro.eval.stress` measures coverage/length degradation under the
+fault campaigns of :mod:`repro.robust`.
 """
 
 from repro.eval.diagnostics import (
@@ -36,6 +38,7 @@ from repro.eval.experiments import (
     run_region_experiment,
 )
 from repro.eval.reporting import format_series, format_table
+from repro.eval.stress import StressReport, StressResult, run_fault_campaign
 
 __all__ = [
     "CoverageReport",
@@ -45,6 +48,8 @@ __all__ = [
     "POINT_MODEL_NAMES",
     "PointCVResult",
     "REGION_METHOD_NAMES",
+    "StressReport",
+    "StressResult",
     "coverage_width_criterion",
     "cross_validate_intervals",
     "cross_validate_point",
@@ -58,6 +63,7 @@ __all__ = [
     "pinball_score",
     "r2_score",
     "rmse",
+    "run_fault_campaign",
     "run_point_experiment",
     "run_region_experiment",
 ]

@@ -1,0 +1,173 @@
+"""Stress-test harness: coverage/length degradation under fault campaigns.
+
+The robustness claim of :mod:`repro.robust` is quantitative: under a
+given fault campaign the served intervals should lose *bounded* coverage
+relative to the clean baseline, paying for damage with width (inflation,
+fallback) rather than with silent under-coverage.  This module measures
+exactly that.  :func:`run_fault_campaign` serves one held-out lot through
+a fitted :class:`~repro.robust.flow.RobustVminFlow` once clean and once
+per fault scenario, and the resulting :class:`StressReport` tabulates
+coverage, width, status, and inflation per scenario -- the robustness
+analogue of the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+
+__all__ = ["StressResult", "StressReport", "run_fault_campaign"]
+
+
+@dataclass(frozen=True)
+class StressResult:
+    """Outcome of serving one fault scenario.
+
+    Attributes
+    ----------
+    scenario, severity:
+        Scenario identity (from the :class:`~repro.robust.faults.FaultScenario`).
+    coverage, mean_width:
+        Empirical coverage and average interval length (V) of the
+        served intervals on the faulted batch.
+    status:
+        Served :class:`~repro.robust.fallback.DegradationStatus` value.
+    inflation:
+        Width multiplier the degradation policy charged.
+    used_fallback:
+        Whether the fallback model produced the band.
+    unhealthy_fraction:
+        Fraction of feature columns the guard flagged unhealthy.
+    """
+
+    scenario: str
+    severity: float
+    coverage: float
+    mean_width: float
+    status: str
+    inflation: float
+    used_fallback: bool
+    unhealthy_fraction: float
+
+
+@dataclass(frozen=True)
+class StressReport:
+    """Clean baseline plus per-scenario stress results.
+
+    ``nominal_coverage`` / ``nominal_width`` come from serving the same
+    batch with no faults injected; every :class:`StressResult` is read
+    against them.
+    """
+
+    nominal_coverage: float
+    nominal_width: float
+    results: Tuple[StressResult, ...]
+
+    def worst_coverage(self, scenario_prefix: Optional[str] = None) -> float:
+        """Lowest served coverage, optionally restricted to scenarios
+        whose name starts with ``scenario_prefix``."""
+        selected = [
+            r.coverage
+            for r in self.results
+            if scenario_prefix is None or r.scenario.startswith(scenario_prefix)
+        ]
+        if not selected:
+            raise ValueError(
+                f"no scenario matches prefix {scenario_prefix!r}"
+            )
+        return float(min(selected))
+
+    def coverage_drop(self, scenario_prefix: Optional[str] = None) -> float:
+        """Worst coverage loss versus nominal (positive = degradation)."""
+        return self.nominal_coverage - self.worst_coverage(scenario_prefix)
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Monospace report table (coverage in %, width in mV)."""
+        rows = [
+            [
+                "(nominal)",
+                0.0,
+                "ok",
+                self.nominal_coverage * 100.0,
+                self.nominal_width * 1e3,
+                1.0,
+                "-",
+                0.0,
+            ]
+        ]
+        rows.extend(
+            [
+                r.scenario,
+                r.severity,
+                r.status,
+                r.coverage * 100.0,
+                r.mean_width * 1e3,
+                r.inflation,
+                "yes" if r.used_fallback else "no",
+                r.unhealthy_fraction * 100.0,
+            ]
+            for r in self.results
+        )
+        return format_table(
+            [
+                "Scenario",
+                "Severity",
+                "Status",
+                "Coverage (%)",
+                "Len (mV)",
+                "Inflation",
+                "Fallback",
+                "Unhealthy (%)",
+            ],
+            rows,
+            title=title or "Fault-campaign stress report",
+        )
+
+
+def run_fault_campaign(flow, X: np.ndarray, y: np.ndarray, campaign) -> StressReport:
+    """Serve a held-out lot through every scenario of a fault campaign.
+
+    Parameters
+    ----------
+    flow:
+        A *fitted* :class:`~repro.robust.flow.RobustVminFlow` (anything
+        whose ``predict_interval`` returns a
+        :class:`~repro.robust.fallback.DegradedPrediction` works).
+    X, y:
+        Clean held-out chips and their measured Vmin labels; every
+        scenario corrupts a fresh copy of ``X``.
+    campaign:
+        An iterable of :class:`~repro.robust.faults.FaultScenario`
+        (e.g. :meth:`~repro.robust.faults.FaultCampaign.standard`).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y must be a matching 2-D/1-D pair, got {X.shape} and {y.shape}"
+        )
+    nominal = flow.predict_interval(X)
+    results = []
+    for scenario in campaign:
+        prediction = flow.predict_interval(scenario.apply(X))
+        results.append(
+            StressResult(
+                scenario=scenario.name,
+                severity=float(scenario.severity),
+                coverage=prediction.coverage(y),
+                mean_width=prediction.mean_width,
+                status=prediction.status.value,
+                inflation=float(prediction.inflation),
+                used_fallback=bool(prediction.used_fallback),
+                unhealthy_fraction=prediction.health.unhealthy_fraction,
+            )
+        )
+    return StressReport(
+        nominal_coverage=nominal.coverage(y),
+        nominal_width=nominal.mean_width,
+        results=tuple(results),
+    )

@@ -19,7 +19,7 @@ from repro.core.calibration import effective_coverage_level
 from repro.core.cqr import ConformalizedQuantileRegressor
 from repro.core.intervals import PredictionIntervals
 from repro.features.selection import CFSSelectedRegressor
-from repro.models.base import BaseRegressor, check_X_y, clone
+from repro.models.base import BaseRegressor, check_X_y, check_fitted, clone
 from repro.models.oblivious import ObliviousBoostingRegressor
 
 __all__ = ["VminPredictionFlow"]
@@ -123,8 +123,7 @@ class VminPredictionFlow:
         pick different subsets on the proper-training split; the lower
         model's choice is reported as the representative one.
         """
-        if self.cqr_ is None:
-            raise RuntimeError("VminPredictionFlow is not fitted")
+        check_fitted(self, "cqr_")
         if self.n_features is None:
             return self._feature_names
         if self._feature_names is None:
@@ -134,8 +133,7 @@ class VminPredictionFlow:
 
     def predict_interval(self, X: np.ndarray) -> PredictionIntervals:
         """Calibrated Vmin interval per chip (V)."""
-        if self.cqr_ is None:
-            raise RuntimeError("VminPredictionFlow is not fitted")
+        check_fitted(self, "cqr_")
         return self.cqr_.predict_interval(np.asarray(X, dtype=np.float64))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -149,13 +147,11 @@ class VminPredictionFlow:
         Slightly above ``1 − alpha`` due to the discrete conformal rank;
         see :func:`repro.core.calibration.effective_coverage_level`.
         """
-        if self.cqr_ is None:
-            raise RuntimeError("VminPredictionFlow is not fitted")
+        check_fitted(self, "cqr_")
         return effective_coverage_level(self.cqr_.n_calibration_, self.alpha)
 
     @property
     def conformal_correction_(self) -> Tuple[float, float]:
         """The (lower, upper) margins added to the raw quantile band (V)."""
-        if self.cqr_ is None:
-            raise RuntimeError("VminPredictionFlow is not fitted")
+        check_fitted(self, "cqr_")
         return self.cqr_.quantile_low_, self.cqr_.quantile_high_

@@ -72,8 +72,15 @@ def check_X(X: Any, *, name: str = "X") -> np.ndarray:
         raise ValueError(f"{name} must be 2-D (n_samples, n_features), got shape {X.shape}")
     if X.shape[0] == 0 or X.shape[1] == 0:
         raise ValueError(f"{name} must be non-empty, got shape {X.shape}")
-    if not np.all(np.isfinite(X)):
-        raise ValueError(f"{name} contains NaN or infinite values")
+    finite = np.isfinite(X)
+    if not np.all(finite):
+        bad = np.flatnonzero(~finite.all(axis=0))
+        shown = ", ".join(str(int(c)) for c in bad[:10])
+        if bad.size > 10:
+            shown += f", ... ({bad.size} columns total)"
+        raise ValueError(
+            f"{name} contains NaN or infinite values in column(s) [{shown}]"
+        )
     return X
 
 

@@ -1,0 +1,190 @@
+"""Graceful degradation: structured status instead of exceptions.
+
+A deployed Vmin predictor has exactly three honest answers when its
+inputs are damaged, ordered by how much trust survives:
+
+* ``OK`` -- the batch is clean, serve the calibrated interval as-is;
+* ``DEGRADED`` -- some sensors were imputed; serve the primary model
+  but *inflate* the interval in proportion to the damage, because the
+  conformal guarantee was calibrated on clean features;
+* ``FALLBACK`` -- the on-chip monitor block is too damaged to trust at
+  all; switch to a model trained on the still-healthy feature group
+  (typically time-zero parametric data) and inflate.
+
+:class:`DegradationPolicy` encodes the thresholds and the inflation
+schedule; :class:`DegradedPrediction` is the structured result every
+robust prediction returns -- intervals plus status, health report,
+inflation factor, and human-readable notes -- so a test-floor
+integration can log and branch instead of catching exceptions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.intervals import PredictionIntervals
+from repro.robust.guard import HealthReport
+
+__all__ = [
+    "DegradationPolicy",
+    "DegradationStatus",
+    "DegradedPrediction",
+    "inflate_intervals",
+]
+
+
+class DegradationStatus(enum.Enum):
+    """How much of the nominal serving path survived for a batch."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    FALLBACK = "fallback"
+
+
+def inflate_intervals(
+    intervals: PredictionIntervals, factor: float
+) -> PredictionIntervals:
+    """Widen every interval about its midpoint by ``factor`` (>= 1).
+
+    Inflation is the honest response to serving on imputed features: the
+    split-conformal margin was calibrated for clean inputs, so the band
+    is stretched symmetrically rather than silently served over-tight.
+    """
+    if not np.isfinite(factor) or factor < 1.0:
+        raise ValueError(f"inflation factor must be >= 1, got {factor}")
+    mid = intervals.midpoint
+    half = intervals.width / 2.0
+    return PredictionIntervals(mid - factor * half, mid + factor * half)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds and inflation schedule for degraded serving.
+
+    Attributes
+    ----------
+    degraded_threshold:
+        Unhealthy-feature fraction above which the batch is no longer
+        ``OK`` (any imputation at all below this is tolerated silently).
+    fallback_threshold:
+        Unhealthy fraction *of the monitored feature group* above which
+        the primary model is abandoned for the fallback model.
+    width_inflation:
+        Extra relative width charged per unit unhealthy fraction:
+        the factor is ``1 + width_inflation * unhealthy_fraction``.
+    max_inflation:
+        Hard cap on the inflation factor.
+    """
+
+    degraded_threshold: float = 0.0
+    fallback_threshold: float = 0.3
+    width_inflation: float = 1.5
+    max_inflation: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.degraded_threshold <= 1.0:
+            raise ValueError(
+                f"degraded_threshold must be in [0, 1], got {self.degraded_threshold}"
+            )
+        if not 0.0 < self.fallback_threshold <= 1.0:
+            raise ValueError(
+                f"fallback_threshold must be in (0, 1], got {self.fallback_threshold}"
+            )
+        if self.width_inflation < 0:
+            raise ValueError(
+                f"width_inflation must be >= 0, got {self.width_inflation}"
+            )
+        if self.max_inflation < 1.0:
+            raise ValueError(f"max_inflation must be >= 1, got {self.max_inflation}")
+
+    def classify(
+        self, unhealthy_fraction: float, monitor_unhealthy_fraction: float
+    ) -> DegradationStatus:
+        """Map damage fractions to a serving status."""
+        if monitor_unhealthy_fraction >= self.fallback_threshold:
+            return DegradationStatus.FALLBACK
+        if unhealthy_fraction > self.degraded_threshold:
+            return DegradationStatus.DEGRADED
+        return DegradationStatus.OK
+
+    def inflation_factor(self, unhealthy_fraction: float) -> float:
+        """Interval-width multiplier charged for ``unhealthy_fraction``."""
+        if not 0.0 <= unhealthy_fraction <= 1.0:
+            raise ValueError(
+                f"unhealthy_fraction must be in [0, 1], got {unhealthy_fraction}"
+            )
+        return float(
+            min(1.0 + self.width_inflation * unhealthy_fraction, self.max_inflation)
+        )
+
+
+@dataclass(frozen=True)
+class DegradedPrediction:
+    """Intervals plus the full story of how they were produced.
+
+    Attributes
+    ----------
+    intervals:
+        The served (possibly inflated, possibly fallback) intervals.
+    status:
+        :class:`DegradationStatus` of the batch.
+    health:
+        The :class:`~repro.robust.guard.HealthReport` that drove the
+        decision.
+    inflation:
+        Width multiplier applied (1.0 when nominal).
+    used_fallback:
+        True when the fallback model produced the band.
+    notes:
+        Human-readable audit trail of every degradation action taken.
+    """
+
+    intervals: PredictionIntervals
+    status: DegradationStatus
+    health: HealthReport
+    inflation: float = 1.0
+    used_fallback: bool = False
+    notes: Tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Served lower bounds (V)."""
+        return self.intervals.lower
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Served upper bounds (V)."""
+        return self.intervals.upper
+
+    @property
+    def nominal(self) -> bool:
+        """True iff the batch was served on the clean path, uninflated."""
+        return self.status is DegradationStatus.OK
+
+    def coverage(self, y: np.ndarray) -> float:
+        """Empirical coverage of the served intervals."""
+        return self.intervals.coverage(y)
+
+    @property
+    def mean_width(self) -> float:
+        """Average served interval length (V)."""
+        return self.intervals.mean_width
+
+    def describe(self) -> str:
+        """One-line audit summary."""
+        parts = [
+            f"status={self.status.value}",
+            f"inflation={self.inflation:.2f}x",
+            f"fallback={self.used_fallback}",
+            self.health.describe(),
+        ]
+        if self.notes:
+            parts.append("; ".join(self.notes))
+        return " | ".join(parts)

@@ -1,0 +1,379 @@
+"""The hardened serving wrapper around :class:`VminPredictionFlow`.
+
+:class:`RobustVminFlow` is the piece a real test-floor / in-field
+integration deploys: the paper's calibrated CQR pipeline, front-ended
+by input sanitization and backed by graceful degradation and coverage
+monitoring, so that
+
+* a NaN from one dead ROD sensor degrades the answer instead of raising,
+* a dead *monitor block* falls back to a parametric-only model,
+* detected coverage drift triggers online recalibration through
+  :class:`~repro.core.adaptive.AdaptiveConformalPredictor` (Gibbs &
+  Candès) rather than silently serving broken guarantees.
+
+``predict_interval`` therefore returns a structured
+:class:`~repro.robust.fallback.DegradedPrediction` -- never an
+exception for value-level input damage -- and ``observe`` closes the
+loop when ground-truth Vmin measurements trickle back from the ATE.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveConformalPredictor
+from repro.flow.pipeline import VminPredictionFlow
+from repro.models.base import BaseRegressor, check_fitted, check_X_y, clone
+from repro.robust.fallback import (
+    DegradationPolicy,
+    DegradationStatus,
+    DegradedPrediction,
+    inflate_intervals,
+)
+from repro.robust.guard import FeatureHealthGuard, HealthReport
+from repro.robust.imputation import TrainStatImputer
+from repro.robust.monitoring import CoverageAlarm, CoverageMonitor
+
+__all__ = ["RobustVminFlow"]
+
+
+def _validate_columns(
+    columns: Sequence[int], n_features: int, name: str
+) -> np.ndarray:
+    cols = np.unique(np.asarray(list(columns), dtype=np.int64))
+    if cols.size == 0:
+        raise ValueError(f"{name} must be non-empty when given")
+    if cols.min() < 0 or cols.max() >= n_features:
+        raise ValueError(
+            f"{name} indices must be in [0, {n_features}), got "
+            f"[{cols.min()}, {cols.max()}]"
+        )
+    return cols
+
+
+class RobustVminFlow:
+    """Fault-tolerant Vmin interval serving with coverage monitoring.
+
+    Parameters
+    ----------
+    base_model:
+        Unfitted quantile-capable template for the primary (and, when
+        enabled, fallback) pipeline; ``None`` uses the paper's default
+        CQR CatBoost recipe (see :class:`VminPredictionFlow`).
+    alpha:
+        Target miscoverage of the served intervals.
+    n_features, scale, calibration_fraction, random_state:
+        Forwarded to the wrapped :class:`VminPredictionFlow`.
+    policy:
+        Degradation thresholds and inflation schedule
+        (:class:`~repro.robust.fallback.DegradationPolicy`).
+    guard:
+        Unfitted :class:`~repro.robust.guard.FeatureHealthGuard`; a
+        default-configured one when ``None``.  Fitted in place by
+        :meth:`fit`.
+    imputer:
+        Unfitted :class:`~repro.robust.imputation.TrainStatImputer`;
+        default-configured when ``None``.  Fitted in place by :meth:`fit`.
+    monitor_window, monitor_tolerance, monitor_min_observations:
+        Rolling-coverage monitor configuration
+        (:class:`~repro.robust.monitoring.CoverageMonitor`).
+    gamma, adaptation_window:
+        Gibbs-Candès step size and score window for the online
+        recalibration path (:class:`AdaptiveConformalPredictor`).
+    """
+
+    def __init__(
+        self,
+        base_model: Optional[BaseRegressor] = None,
+        alpha: float = 0.1,
+        n_features: Optional[int] = None,
+        scale: bool = False,
+        calibration_fraction: float = 0.25,
+        random_state: Optional[int] = None,
+        policy: Optional[DegradationPolicy] = None,
+        guard: Optional[FeatureHealthGuard] = None,
+        imputer: Optional[TrainStatImputer] = None,
+        monitor_window: int = 50,
+        monitor_tolerance: float = 0.05,
+        monitor_min_observations: int = 20,
+        gamma: float = 0.05,
+        adaptation_window: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        self.base_model = base_model
+        self.alpha = alpha
+        self.n_features = n_features
+        self.scale = scale
+        self.calibration_fraction = calibration_fraction
+        self.random_state = random_state
+        self.policy = policy if policy is not None else DegradationPolicy()
+        self.guard = guard
+        self.imputer = imputer
+        self.monitor_window = monitor_window
+        self.monitor_tolerance = monitor_tolerance
+        self.monitor_min_observations = monitor_min_observations
+        self.gamma = gamma
+        self.adaptation_window = adaptation_window
+        self.primary_: Optional[VminPredictionFlow] = None
+
+    # -- fitting ---------------------------------------------------------------
+    def _make_flow(self, n_available: Optional[int] = None) -> VminPredictionFlow:
+        template = clone(self.base_model) if self.base_model is not None else None
+        n_features = self.n_features
+        if n_features is not None and n_available is not None:
+            n_features = min(n_features, n_available)
+        return VminPredictionFlow(
+            base_model=template,
+            alpha=self.alpha,
+            n_features=n_features,
+            scale=self.scale,
+            calibration_fraction=self.calibration_fraction,
+            random_state=self.random_state,
+        )
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        feature_names: Optional[List[str]] = None,
+        fallback_columns: Optional[Sequence[int]] = None,
+        monitor_columns: Optional[Sequence[int]] = None,
+    ) -> "RobustVminFlow":
+        """Fit guards, primary pipeline, fallback pipeline, recalibrator.
+
+        Parameters
+        ----------
+        X, y, feature_names:
+            Clean training chips, as for :class:`VminPredictionFlow`
+            (training data must satisfy the strict ``check_X`` contract;
+            robustness applies at serving time).
+        fallback_columns:
+            Column indices of the feature group a degraded prediction
+            can still trust when the monitors die -- typically the
+            time-zero parametric block.  When given, a second
+            :class:`VminPredictionFlow` is fitted on just these columns.
+        monitor_columns:
+            Column indices whose health gates the fallback decision
+            (typically the on-chip ROD/CPD block).  Defaults to the
+            complement of ``fallback_columns``, or all columns.
+        """
+        X, y = check_X_y(X, y)
+        d = X.shape[1]
+        self.fallback_columns_ = (
+            _validate_columns(fallback_columns, d, "fallback_columns")
+            if fallback_columns is not None
+            else None
+        )
+        if monitor_columns is not None:
+            self.monitor_columns_ = _validate_columns(
+                monitor_columns, d, "monitor_columns"
+            )
+        elif self.fallback_columns_ is not None:
+            self.monitor_columns_ = np.setdiff1d(
+                np.arange(d, dtype=np.int64), self.fallback_columns_
+            )
+        else:
+            self.monitor_columns_ = np.arange(d, dtype=np.int64)
+
+        self.guard_ = (
+            self.guard if self.guard is not None else FeatureHealthGuard()
+        ).fit(X)
+        self.imputer_ = (
+            self.imputer if self.imputer is not None else TrainStatImputer()
+        ).fit(X)
+
+        primary = self._make_flow()
+        primary.fit(X, y, feature_names=feature_names)
+        self.primary_ = primary
+
+        self.fallback_ = None
+        if self.fallback_columns_ is not None:
+            fallback_names = (
+                [feature_names[i] for i in self.fallback_columns_]
+                if feature_names is not None
+                else None
+            )
+            fallback = self._make_flow(n_available=int(self.fallback_columns_.size))
+            fallback.fit(
+                X[:, self.fallback_columns_], y, feature_names=fallback_names
+            )
+            self.fallback_ = fallback
+
+        self.adaptive_ = AdaptiveConformalPredictor.from_fitted(
+            primary.cqr_.band_,
+            primary.cqr_.calibration_scores_,
+            alpha=self.alpha,
+            gamma=self.gamma,
+            window=self.adaptation_window,
+        )
+        self.monitor_ = CoverageMonitor(
+            target_coverage=1.0 - self.alpha,
+            window=self.monitor_window,
+            tolerance=self.monitor_tolerance,
+            min_observations=self.monitor_min_observations,
+        )
+        self.n_features_in_ = d
+        self.recalibrations_ = 0
+        self._adaptive_active = False
+        return self
+
+    # -- serving ---------------------------------------------------------------
+    def _sanitize(self, X: np.ndarray) -> Tuple[np.ndarray, HealthReport]:
+        """Health-assess and impute a batch; only structural errors raise."""
+        check_fitted(self, "primary_")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(
+                f"X must be 2-D (n_samples, n_features), got shape {X.shape}"
+            )
+        if X.shape[0] == 0:
+            raise ValueError("X must contain at least one sample")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, flow was fitted on "
+                f"{self.n_features_in_}"
+            )
+        report = self.guard_.assess(X)
+        clean = self.imputer_.transform(X, stuck=report.stuck)
+        return clean, report
+
+    @property
+    def adaptive_active(self) -> bool:
+        """True once a coverage alarm has switched serving to the
+        online-recalibrated (Gibbs-Candès) margins."""
+        check_fitted(self, "primary_")
+        return self._adaptive_active
+
+    def _primary_intervals(self, X_clean: np.ndarray):
+        if self._adaptive_active:
+            return self.adaptive_.predict_interval(X_clean)
+        return self.primary_.predict_interval(X_clean)
+
+    def predict_interval(self, X: np.ndarray) -> DegradedPrediction:
+        """Serve calibrated intervals with graceful degradation.
+
+        Value-level damage (NaN, Inf, stuck or drifted sensors) never
+        raises: the batch is sanitized, the degradation policy picks the
+        serving path and the inflation charge, and the full story comes
+        back as a :class:`DegradedPrediction`.  Structural errors (wrong
+        column count, empty batch) still raise ``ValueError`` -- those
+        are integration bugs, not field faults.
+        """
+        X_clean, report = self._sanitize(X)
+        # Column-level damage misses row-level faults (a dropped record
+        # NaNs every feature of one chip without killing any column), so
+        # degradation is charged on the worse of the two views.
+        overall = max(report.unhealthy_fraction, report.damaged_entry_fraction)
+        monitor_frac = report.unhealthy_fraction_of(self.monitor_columns_)
+        status = self.policy.classify(overall, monitor_frac)
+        notes: List[str] = []
+        used_fallback = False
+
+        if status is DegradationStatus.FALLBACK and self.fallback_ is not None:
+            fallback_frac = report.unhealthy_fraction_of(self.fallback_columns_)
+            if fallback_frac < self.policy.fallback_threshold:
+                intervals = self.fallback_.predict_interval(
+                    X_clean[:, self.fallback_columns_]
+                )
+                used_fallback = True
+                inflation = self.policy.inflation_factor(fallback_frac)
+                notes.append(
+                    f"monitor block {monitor_frac:.0%} unhealthy; served "
+                    f"fallback model on {self.fallback_columns_.size} columns"
+                )
+            else:
+                intervals = self._primary_intervals(X_clean)
+                inflation = self.policy.max_inflation
+                notes.append(
+                    f"monitor block {monitor_frac:.0%} and fallback block "
+                    f"{fallback_frac:.0%} unhealthy; served primary model "
+                    "at maximum inflation"
+                )
+        elif status is DegradationStatus.FALLBACK:
+            intervals = self._primary_intervals(X_clean)
+            inflation = self.policy.max_inflation
+            notes.append(
+                f"monitor block {monitor_frac:.0%} unhealthy and no fallback "
+                "model fitted; served primary model at maximum inflation"
+            )
+        else:
+            intervals = self._primary_intervals(X_clean)
+            inflation = self.policy.inflation_factor(overall)
+            if status is DegradationStatus.DEGRADED:
+                notes.append(
+                    f"{overall:.0%} of features imputed; interval widened "
+                    f"{inflation:.2f}x"
+                )
+        if self._adaptive_active and not used_fallback:
+            notes.append(
+                f"online recalibration active (alpha_t={self.adaptive_.alpha_t:.3f})"
+            )
+        if inflation > 1.0:
+            intervals = inflate_intervals(intervals, inflation)
+        return DegradedPrediction(
+            intervals=intervals,
+            status=status,
+            health=report,
+            inflation=inflation,
+            used_fallback=used_fallback,
+            notes=tuple(notes),
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Midpoint of the served interval (point estimate, V)."""
+        return self.predict_interval(X).intervals.midpoint
+
+    # -- the feedback loop -----------------------------------------------------
+    def observe(self, X: np.ndarray, y: np.ndarray) -> Optional[CoverageAlarm]:
+        """Stream measured Vmin labels back into the serving stack.
+
+        Re-serves ``X`` exactly as :meth:`predict_interval` would,
+        scores the outcomes against ``y``, and feeds the rolling
+        coverage monitor.  On an alarm, serving switches permanently to
+        the adaptive (Gibbs-Candès) margins and every subsequent
+        observation updates them -- online recalibration.  Returns the
+        alarm fired by this batch, if any.
+        """
+        check_fitted(self, "primary_")
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+        if not np.all(np.isfinite(y)):
+            raise ValueError("y contains NaN or infinite values")
+        prediction = self.predict_interval(X)
+        if len(prediction) != y.shape[0]:
+            raise ValueError(
+                f"X and y have inconsistent lengths: {len(prediction)} vs "
+                f"{y.shape[0]}"
+            )
+        covered = prediction.intervals.contains(y)
+        alarm = self.monitor_.update(covered)
+        if alarm is not None:
+            self._adaptive_active = True
+            self.recalibrations_ += 1
+        if self._adaptive_active:
+            X_clean, _ = self._sanitize(X)
+            self.adaptive_.update(X_clean, y)
+        return alarm
+
+    def rolling_coverage(self) -> float:
+        """Rolling empirical coverage over the observation window."""
+        check_fitted(self, "primary_")
+        return self.monitor_.rolling_coverage()
+
+    @property
+    def alarms_(self) -> List[CoverageAlarm]:
+        """Every coverage alarm fired so far."""
+        check_fitted(self, "primary_")
+        return self.monitor_.alarms_
+
+    @property
+    def guaranteed_coverage_(self) -> float:
+        """Finite-sample guarantee of the primary pipeline (clean inputs)."""
+        check_fitted(self, "primary_")
+        return self.primary_.guaranteed_coverage_

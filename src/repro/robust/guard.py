@@ -1,0 +1,212 @@
+"""Input-sanitization front-end: per-feature health assessment.
+
+The strict ``check_X`` contract of :mod:`repro.models.base` is right for
+*training* -- garbage labels silently poison a fit -- but wrong for
+*serving*: one dead ROD sensor must not crash the interval prediction
+for a whole lot.  :class:`FeatureHealthGuard` is the serving-side
+replacement.  It captures robust per-feature statistics (median,
+quantile range, spread) from the clean training matrix, then classifies
+every entry of an incoming batch instead of raising:
+
+* **missing** -- NaN/Inf entries (dead sensors, dropped telemetry),
+* **stuck**   -- a column frozen at one value across the batch although
+  it varied at train time (stuck-at ADC codes),
+* **out of range** -- finite values outside the inflated training
+  quantile range (drifted or mis-measured sensors).
+
+The resulting :class:`HealthReport` drives bounded imputation
+(:mod:`repro.robust.imputation`) and the degradation policy
+(:mod:`repro.robust.fallback`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import check_fitted, check_X
+
+__all__ = ["FeatureHealthGuard", "HealthReport"]
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Entry- and feature-level health classification of one batch.
+
+    Attributes
+    ----------
+    missing:
+        (n_samples, n_features) bool -- non-finite entries.
+    out_of_range:
+        (n_samples, n_features) bool -- finite entries outside the
+        inflated training range.
+    stuck:
+        (n_features,) bool -- columns frozen across the batch that were
+        not constant at train time (only detectable with >= 2 samples).
+    unhealthy:
+        (n_features,) bool -- columns failing any check badly enough to
+        be considered unusable for this batch (see
+        :class:`FeatureHealthGuard.unhealthy_fraction`).
+    """
+
+    missing: np.ndarray
+    out_of_range: np.ndarray
+    stuck: np.ndarray
+    unhealthy: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Batch size assessed."""
+        return int(self.missing.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns assessed."""
+        return int(self.missing.shape[1])
+
+    @property
+    def healthy(self) -> bool:
+        """True iff no entry raised any flag at all."""
+        return not (
+            bool(self.missing.any())
+            or bool(self.out_of_range.any())
+            or bool(self.stuck.any())
+        )
+
+    @property
+    def unhealthy_fraction(self) -> float:
+        """Fraction of feature columns classified unhealthy."""
+        return float(np.mean(self.unhealthy))
+
+    @property
+    def damaged_entry_fraction(self) -> float:
+        """Fraction of individual entries that were missing or out of
+        range -- catches row-level damage (dropped telemetry records)
+        that no column-level statistic would flag."""
+        return float(np.mean(self.missing | self.out_of_range))
+
+    def unhealthy_fraction_of(self, columns: Sequence[int]) -> float:
+        """Unhealthy fraction restricted to a column subset (e.g. the
+        on-chip monitor block); 0.0 for an empty subset."""
+        cols = np.asarray(list(columns), dtype=np.int64)
+        if cols.size == 0:
+            return 0.0
+        if cols.min() < 0 or cols.max() >= self.n_features:
+            raise ValueError(
+                f"column indices must be in [0, {self.n_features}), got {cols}"
+            )
+        return float(np.mean(self.unhealthy[cols]))
+
+    def describe(self) -> str:
+        """One-line summary for logs and degradation notes."""
+        return (
+            f"{self.n_samples} samples x {self.n_features} features: "
+            f"{int(self.unhealthy.sum())} unhealthy columns "
+            f"({self.unhealthy_fraction:.1%}), "
+            f"{int(self.stuck.sum())} stuck, "
+            f"{int(self.missing.sum())} missing entries, "
+            f"{int(self.out_of_range.sum())} out-of-range entries"
+        )
+
+
+class FeatureHealthGuard:
+    """Train-time statistic capture + batch-time health masks.
+
+    Parameters
+    ----------
+    range_quantiles:
+        (low, high) training quantiles anchoring the plausible range.
+    range_inflation:
+        The plausible range is the quantile span inflated by this factor
+        on each side; values outside are flagged out-of-range.  Larger
+        values tolerate more drift before flagging.
+    unhealthy_fraction:
+        A column is *unhealthy* for a batch when it is stuck, or when
+        more than this fraction of its entries are missing or
+        out-of-range.
+    """
+
+    def __init__(
+        self,
+        range_quantiles: Tuple[float, float] = (0.01, 0.99),
+        range_inflation: float = 1.0,
+        unhealthy_fraction: float = 0.5,
+    ) -> None:
+        lo, hi = float(range_quantiles[0]), float(range_quantiles[1])
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(
+                f"range_quantiles must satisfy 0 <= lo < hi <= 1, got {range_quantiles}"
+            )
+        if range_inflation < 0:
+            raise ValueError(f"range_inflation must be >= 0, got {range_inflation}")
+        if not 0.0 <= unhealthy_fraction <= 1.0:
+            raise ValueError(
+                f"unhealthy_fraction must be in [0, 1], got {unhealthy_fraction}"
+            )
+        self.range_quantiles = (lo, hi)
+        self.range_inflation = float(range_inflation)
+        self.unhealthy_fraction = float(unhealthy_fraction)
+        self.median_ = None
+
+    def fit(self, X: np.ndarray) -> "FeatureHealthGuard":
+        """Capture per-feature statistics from a clean training matrix."""
+        X = check_X(X)
+        lo_q, hi_q = self.range_quantiles
+        q_lo = np.quantile(X, lo_q, axis=0)
+        q_hi = np.quantile(X, hi_q, axis=0)
+        span = q_hi - q_lo
+        # Degenerate (constant) columns get a tiny absolute tolerance so
+        # bit-identical values stay in range but real deviations flag.
+        floor = 1e-9 * np.maximum(1.0, np.abs(q_hi))
+        span = np.maximum(span, floor)
+        self.median_ = np.median(X, axis=0)
+        self.lower_bound_ = q_lo - self.range_inflation * span
+        self.upper_bound_ = q_hi + self.range_inflation * span
+        # max == min is exact for truly constant columns, unlike std(),
+        # whose accumulated rounding can leave a nonzero residual.
+        self.train_constant_ = X.max(axis=0) == X.min(axis=0)  # reprolint: disable=REP102
+        self.n_features_in_ = int(X.shape[1])
+        return self
+
+    def assess(self, X: np.ndarray) -> HealthReport:
+        """Classify every entry of a (possibly corrupted) batch.
+
+        Never raises on NaN/Inf/stuck/drifted *values*; only structural
+        errors (wrong dimensionality or column count) raise, because
+        those are caller bugs no imputation can paper over.
+        """
+        check_fitted(self, "median_")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D (n_samples, n_features), got shape {X.shape}")
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, guard was fitted on "
+                f"{self.n_features_in_}"
+            )
+        missing = ~np.isfinite(X)
+        filled = np.where(missing, self.median_, X)
+        out_of_range = ~missing & (
+            (filled < self.lower_bound_) | (filled > self.upper_bound_)
+        )
+        if X.shape[0] >= 2:
+            # Frozen iff every *finite* entry of the column is identical
+            # (masking non-finite entries with +/-inf keeps this pure
+            # numpy, no all-NaN-slice warnings).
+            finite_max = np.where(missing, -np.inf, X).max(axis=0)
+            finite_min = np.where(missing, np.inf, X).min(axis=0)
+            all_missing = missing.all(axis=0)
+            batch_frozen = ~all_missing & (finite_max == finite_min)  # reprolint: disable=REP102
+            stuck = batch_frozen & ~self.train_constant_
+        else:
+            stuck = np.zeros(X.shape[1], dtype=bool)
+        broken_fraction = (missing | out_of_range).mean(axis=0)
+        unhealthy = stuck | (broken_fraction > self.unhealthy_fraction)
+        return HealthReport(
+            missing=missing,
+            out_of_range=out_of_range,
+            stuck=stuck,
+            unhealthy=unhealthy,
+        )

@@ -1,0 +1,156 @@
+"""Rolling empirical-coverage monitoring with alarm thresholds.
+
+Split CQR promises marginal coverage ``>= 1 - alpha`` only under
+exchangeability; in the field, aging drifts the feature distribution
+and the guarantee can break *silently* -- intervals keep coming, they
+are just wrong more often than advertised.  The only observable symptom
+is the realized coverage of labels that do eventually get measured, so
+:class:`CoverageMonitor` tracks exactly that: a rolling window of
+covered / escaped outcomes, compared against an alarm threshold
+``target - tolerance``.
+
+An alarm is a *transition* event (armed while healthy, fired once when
+the rolling rate crosses below the threshold, re-armed after recovery),
+so a sustained breach produces one actionable :class:`CoverageAlarm`
+rather than one per chip.  The intended reaction -- wired up by
+:class:`repro.robust.RobustVminFlow` -- is online recalibration via
+:class:`repro.core.adaptive.AdaptiveConformalPredictor` (Gibbs &
+Candès), whose feedback on the miscoverage level restores long-run
+coverage under arbitrary drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["CoverageAlarm", "CoverageMonitor"]
+
+
+@dataclass(frozen=True)
+class CoverageAlarm:
+    """One coverage-breach event.
+
+    Attributes
+    ----------
+    at_observation:
+        1-based index of the streamed label whose update fired the alarm.
+    rolling_coverage:
+        The windowed coverage at firing time.
+    threshold:
+        The alarm threshold (``target - tolerance``) that was crossed.
+    """
+
+    at_observation: int
+    rolling_coverage: float
+    threshold: float
+
+    def describe(self) -> str:
+        """Human-readable alarm line."""
+        return (
+            f"coverage alarm at observation {self.at_observation}: "
+            f"rolling coverage {self.rolling_coverage:.1%} "
+            f"< threshold {self.threshold:.1%}"
+        )
+
+
+class CoverageMonitor:
+    """Windowed coverage tracking with hysteresis alarms.
+
+    Parameters
+    ----------
+    target_coverage:
+        The promised marginal coverage (``1 - alpha``).
+    window:
+        Number of most recent outcomes the rolling rate is computed
+        over; small windows react faster, large windows alarm with
+        fewer false positives.
+    tolerance:
+        Allowed slack below target before alarming -- finite-sample
+        coverage fluctuates by ~``sqrt(p(1-p)/window)`` even with a
+        perfectly calibrated predictor, so the threshold must sit below
+        the target.
+    min_observations:
+        No alarm fires before this many outcomes have been observed.
+    """
+
+    def __init__(
+        self,
+        target_coverage: float = 0.9,
+        window: int = 50,
+        tolerance: float = 0.05,
+        min_observations: int = 20,
+    ) -> None:
+        if not 0.0 < target_coverage < 1.0:
+            raise ValueError(
+                f"target_coverage must be in (0, 1), got {target_coverage}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 <= tolerance < target_coverage:
+            raise ValueError(
+                f"tolerance must be in [0, target_coverage), got {tolerance}"
+            )
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.target_coverage = float(target_coverage)
+        self.window = int(window)
+        self.tolerance = float(tolerance)
+        self.min_observations = int(min_observations)
+        self._outcomes: List[bool] = []
+        self.alarms_: List[CoverageAlarm] = []
+        self.in_alarm_ = False
+
+    @property
+    def threshold(self) -> float:
+        """The rolling-coverage level below which the monitor alarms."""
+        return self.target_coverage - self.tolerance
+
+    @property
+    def n_observed(self) -> int:
+        """Total number of streamed outcomes so far."""
+        return len(self._outcomes)
+
+    def rolling_coverage(self) -> float:
+        """Covered fraction over the most recent ``window`` outcomes."""
+        if not self._outcomes:
+            raise RuntimeError("no outcomes observed yet")
+        recent = self._outcomes[-self.window :]
+        return float(np.mean(recent))
+
+    def update(self, covered) -> Optional[CoverageAlarm]:
+        """Stream a batch of covered/escaped outcomes, in order.
+
+        Each outcome advances the rolling rate by one step; the alarm
+        condition is checked after every step so a breach is located at
+        the exact observation that caused it.  Returns the first alarm
+        fired by this batch (if any) -- all alarms are also appended to
+        :attr:`alarms_`.
+        """
+        outcomes = np.asarray(covered, dtype=bool).ravel()
+        first: Optional[CoverageAlarm] = None
+        for outcome in outcomes:
+            self._outcomes.append(bool(outcome))
+            if self.n_observed < self.min_observations:
+                continue
+            rate = self.rolling_coverage()
+            if rate < self.threshold:
+                if not self.in_alarm_:
+                    alarm = CoverageAlarm(
+                        at_observation=self.n_observed,
+                        rolling_coverage=rate,
+                        threshold=self.threshold,
+                    )
+                    self.alarms_.append(alarm)
+                    self.in_alarm_ = True
+                    if first is None:
+                        first = alarm
+            elif rate >= self.target_coverage:
+                # Hysteresis: re-arm only after full recovery to target,
+                # so an oscillation around the threshold is one event.
+                self.in_alarm_ = False
+        return first

@@ -100,3 +100,38 @@ class TestAdaptive:
     def test_rejects_bad_params(self, kwargs):
         with pytest.raises(ValueError):
             AdaptiveConformalPredictor(QuantileLinearRegression(), **kwargs)
+
+
+class TestFromFitted:
+    def test_warm_start_matches_fresh_fit(self, stream):
+        """Adopting a fitted band + its calibration scores serves the
+        same intervals a natively fitted predictor would."""
+        from repro.core.cqr import ConformalizedQuantileRegressor
+
+        X, y = stream
+        cqr = ConformalizedQuantileRegressor(
+            QuantileLinearRegression(), alpha=0.1, random_state=0
+        ).fit(X[:300], y[:300])
+        warm = AdaptiveConformalPredictor.from_fitted(
+            cqr.band_, cqr.calibration_scores_, alpha=0.1, gamma=0.05
+        )
+        assert warm.alpha_t == 0.1
+        intervals = warm.predict_interval(X[300:330])
+        assert intervals.coverage(y[300:330]) >= 0.7
+        # The warm-started predictor keeps adapting like a fresh one.
+        warm.update(X[300:330], y[300:330] + 100.0)
+        assert warm.alpha_t < 0.1
+
+    def test_from_fitted_validates_inputs(self, stream):
+        from repro.core.cqr import ConformalizedQuantileRegressor
+
+        X, y = stream
+        cqr = ConformalizedQuantileRegressor(
+            QuantileLinearRegression(), alpha=0.1, random_state=0
+        ).fit(X[:300], y[:300])
+        with pytest.raises(TypeError, match="predict_interval"):
+            AdaptiveConformalPredictor.from_fitted(object(), cqr.calibration_scores_)
+        with pytest.raises(ValueError, match="scores"):
+            AdaptiveConformalPredictor.from_fitted(cqr.band_, [])
+        with pytest.raises(ValueError, match="scores"):
+            AdaptiveConformalPredictor.from_fitted(cqr.band_, [1.0, np.nan])

@@ -89,6 +89,7 @@ class TestExamples:
             "monitor_value_study.py",
             "vmin_binning.py",
             "wafer_zone_guarantees.py",
+            "degraded_monitors.py",
         ],
     )
     def test_example_runs_clean(self, script):

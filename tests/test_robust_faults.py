@@ -1,0 +1,189 @@
+"""Tests for the fault injectors and the declarative campaign."""
+
+import numpy as np
+import pytest
+
+from repro.robust.faults import (
+    AgingDrift,
+    DeadSensors,
+    FaultCampaign,
+    FaultScenario,
+    NoiseBurst,
+    RowDropout,
+    StuckSensors,
+    TemperatureOffset,
+    column_scales,
+)
+
+ALL_INJECTORS = [
+    DeadSensors(0.3),
+    StuckSensors(0.3),
+    AgingDrift(1.5, fraction=0.5),
+    TemperatureOffset(1.0, row_fraction=0.5),
+    NoiseBurst(0.5, row_fraction=0.5),
+    RowDropout(0.3),
+]
+
+
+@pytest.fixture()
+def X(rng):
+    return rng.normal(size=(40, 10)) * np.arange(1, 11)
+
+
+class TestInjectorContract:
+    @pytest.mark.parametrize("injector", ALL_INJECTORS, ids=lambda i: type(i).__name__)
+    def test_input_never_mutated(self, injector, X):
+        before = X.copy()
+        injector.inject(X, np.random.default_rng(0))
+        np.testing.assert_array_equal(X, before)
+
+    @pytest.mark.parametrize("injector", ALL_INJECTORS, ids=lambda i: type(i).__name__)
+    def test_shape_preserved(self, injector, X):
+        out = injector.inject(X, np.random.default_rng(0))
+        assert out.shape == X.shape
+
+    @pytest.mark.parametrize("injector", ALL_INJECTORS, ids=lambda i: type(i).__name__)
+    def test_seeded_reproducibility(self, injector, X):
+        a = injector.inject(X, np.random.default_rng(7))
+        b = injector.inject(X, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("injector", ALL_INJECTORS, ids=lambda i: type(i).__name__)
+    def test_describe_names_the_class(self, injector):
+        assert type(injector).__name__ in injector.describe()
+
+    def test_fraction_validated(self):
+        for cls in (DeadSensors, StuckSensors, RowDropout):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                cls(1.5)
+        with pytest.raises(ValueError, match="finite"):
+            AgingDrift(np.inf)
+        with pytest.raises(ValueError, match=">= 0"):
+            NoiseBurst(-1.0)
+
+
+class TestDeadSensors:
+    def test_kills_requested_fraction_of_columns(self, X):
+        out = DeadSensors(0.3).inject(X, np.random.default_rng(0))
+        dead = np.isnan(out).all(axis=0)
+        assert dead.sum() == 3
+        assert np.isfinite(out[:, ~dead]).all()
+
+    def test_explicit_columns(self, X):
+        out = DeadSensors(1.0, columns=[1, 4]).inject(X, np.random.default_rng(0))
+        assert np.isnan(out[:, [1, 4]]).all()
+        assert np.isfinite(np.delete(out, [1, 4], axis=1)).all()
+
+    def test_rejects_out_of_range_columns(self, X):
+        with pytest.raises(ValueError, match="column indices"):
+            DeadSensors(1.0, columns=[99]).inject(X, np.random.default_rng(0))
+
+    def test_zero_fraction_is_identity(self, X):
+        out = DeadSensors(0.0).inject(X, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, X)
+
+
+class TestStuckSensors:
+    def test_stuck_columns_are_batch_constant_and_finite(self, X):
+        out = StuckSensors(0.4).inject(X, np.random.default_rng(1))
+        frozen = (out == out[0]).all(axis=0)  # reprolint: disable=REP102
+        assert frozen.sum() == 4
+        assert np.isfinite(out).all()
+
+    def test_stuck_value_is_a_real_reading(self, X):
+        out = StuckSensors(1.0, columns=[2]).inject(X, np.random.default_rng(3))
+        assert out[0, 2] in X[:, 2]
+
+
+class TestDriftAndNoise:
+    def test_aging_drift_shifts_by_column_scale(self, X):
+        out = AgingDrift(2.0).inject(X, np.random.default_rng(0))
+        np.testing.assert_allclose(out - X, 2.0 * column_scales(X) * np.ones_like(X))
+
+    def test_temperature_offset_hits_rows(self, X):
+        out = TemperatureOffset(3.0, row_fraction=0.25).inject(
+            X, np.random.default_rng(0)
+        )
+        changed_rows = np.any(out != X, axis=1)
+        assert changed_rows.sum() == 10
+
+    def test_noise_burst_leaves_other_rows_alone(self, X):
+        out = NoiseBurst(1.0, row_fraction=0.1).inject(X, np.random.default_rng(0))
+        changed_rows = np.any(out != X, axis=1)
+        assert changed_rows.sum() == 4
+
+    def test_row_dropout_nans_whole_rows(self, X):
+        out = RowDropout(0.25).inject(X, np.random.default_rng(0))
+        dropped = np.isnan(out).all(axis=1)
+        assert dropped.sum() == 10
+        assert np.isfinite(out[~dropped]).all()
+
+
+class TestColumnScales:
+    def test_matches_std_on_clean_data(self, X):
+        np.testing.assert_allclose(column_scales(X), X.std(axis=0, ddof=1))
+
+    def test_ignores_non_finite_entries(self, X):
+        corrupted = X.copy()
+        corrupted[:5, 0] = np.nan
+        expected = X[5:, 0].std(ddof=1)
+        assert column_scales(corrupted)[0] == pytest.approx(expected)
+
+    def test_all_nan_column_gets_zero_scale(self, X):
+        corrupted = X.copy()
+        corrupted[:, 3] = np.nan
+        assert column_scales(corrupted)[3] == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            column_scales(np.zeros(5))
+
+
+class TestScenarioAndCampaign:
+    def test_scenario_apply_is_deterministic(self, X):
+        scenario = FaultScenario(
+            name="combo",
+            injectors=(DeadSensors(0.2), NoiseBurst(0.5, row_fraction=0.5)),
+            severity=0.2,
+            seed=11,
+        )
+        np.testing.assert_array_equal(scenario.apply(X), scenario.apply(X))
+
+    def test_scenario_composes_in_order(self, X):
+        scenario = FaultScenario(
+            name="dead-then-stuck",
+            injectors=(DeadSensors(1.0, columns=[0]), StuckSensors(1.0, columns=[1])),
+            seed=0,
+        )
+        out = scenario.apply(X)
+        assert np.isnan(out[:, 0]).all()
+        assert (out[:, 1] == out[0, 1]).all()  # reprolint: disable=REP102
+
+    def test_standard_campaign_covers_taxonomy_per_severity(self):
+        campaign = FaultCampaign.standard(severities=(0.1, 0.2))
+        assert len(campaign) == 12
+        names = {s.name for s in campaign}
+        assert names == {
+            "dead_sensors",
+            "stuck_sensors",
+            "aging_drift",
+            "temperature_offset",
+            "noise_burst",
+            "row_dropout",
+        }
+
+    def test_standard_campaign_seeds_are_distinct(self):
+        campaign = FaultCampaign.standard(severities=(0.1, 0.2), seed=5)
+        seeds = [s.seed for s in campaign]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_standard_campaign_respects_column_restriction(self, X):
+        campaign = FaultCampaign.standard(severities=(1.0,), columns=[0, 1])
+        for scenario in campaign:
+            if scenario.name == "dead_sensors":
+                out = scenario.apply(X)
+                assert np.isfinite(out[:, 2:]).all()
+
+    def test_standard_rejects_negative_severity(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultCampaign.standard(severities=(-0.1,))

@@ -1,0 +1,104 @@
+"""Tests for the rolling-coverage monitor and its alarm contract."""
+
+import numpy as np
+import pytest
+
+from repro.robust.monitoring import CoverageMonitor
+
+
+class TestCoverageMonitor:
+    def test_healthy_stream_never_alarms(self):
+        monitor = CoverageMonitor(target_coverage=0.9, window=20, tolerance=0.05)
+        # Exactly 90% coverage in every window: at target, never below it.
+        covered = ([True] * 9 + [False]) * 50
+        monitor.update(covered)
+        assert monitor.alarms_ == []
+        assert not monitor.in_alarm_
+
+    def test_alarm_fires_on_coverage_collapse(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=20, tolerance=0.05, min_observations=10
+        )
+        alarm = monitor.update([True] * 10 + [False] * 10)
+        assert alarm is not None
+        assert alarm.rolling_coverage < 0.85
+        assert alarm.threshold == pytest.approx(0.85)
+        assert monitor.in_alarm_
+
+    def test_no_alarm_before_min_observations(self):
+        monitor = CoverageMonitor(min_observations=50)
+        assert monitor.update([False] * 49) is None
+        assert monitor.alarms_ == []
+
+    def test_sustained_breach_is_one_alarm(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.05, min_observations=10
+        )
+        monitor.update([False] * 100)
+        assert len(monitor.alarms_) == 1
+
+    def test_rearm_requires_recovery_to_target(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.1, min_observations=10
+        )
+        monitor.update([False] * 20)          # breach -> alarm 1
+        assert len(monitor.alarms_) == 1
+        monitor.update([True] * 30)           # full recovery re-arms
+        assert not monitor.in_alarm_
+        monitor.update([False] * 10)          # second breach -> alarm 2
+        assert len(monitor.alarms_) == 2
+
+    def test_alarm_location_is_exact(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.05, min_observations=10
+        )
+        alarm = monitor.update([True] * 9 + [False] * 3)
+        # obs 10: 9/10 covered (no alarm); obs 11: 8/10 -> first breach.
+        assert alarm.at_observation == 11
+
+    def test_rolling_coverage_windows(self):
+        monitor = CoverageMonitor(window=4)
+        monitor.update([False, False, True, True, True, True])
+        assert monitor.rolling_coverage() == 1.0
+        assert monitor.n_observed == 6
+
+    def test_rolling_coverage_requires_data(self):
+        with pytest.raises(RuntimeError, match="no outcomes"):
+            CoverageMonitor().rolling_coverage()
+
+    def test_describe_is_readable(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.05, min_observations=10
+        )
+        alarm = monitor.update([False] * 10)
+        assert "coverage alarm" in alarm.describe()
+        assert "85.0%" in alarm.describe()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="target_coverage"):
+            CoverageMonitor(target_coverage=1.5)
+        with pytest.raises(ValueError, match="window"):
+            CoverageMonitor(window=0)
+        with pytest.raises(ValueError, match="tolerance"):
+            CoverageMonitor(target_coverage=0.5, tolerance=0.6)
+        with pytest.raises(ValueError, match="min_observations"):
+            CoverageMonitor(min_observations=0)
+
+    def test_update_returns_first_alarm_of_batch(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=5, tolerance=0.05, min_observations=5
+        )
+        first = monitor.update([False] * 5 + [True] * 20 + [False] * 5)
+        assert first is not None
+        assert first is monitor.alarms_[0]
+        assert len(monitor.alarms_) == 2
+
+    def test_scalar_and_array_updates_agree(self):
+        a = CoverageMonitor(window=5, min_observations=3)
+        b = CoverageMonitor(window=5, min_observations=3)
+        outcomes = [True, False, True, False, False]
+        a.update(outcomes)
+        for outcome in outcomes:
+            b.update(outcome)
+        assert a.rolling_coverage() == b.rolling_coverage()
+        assert len(a.alarms_) == len(b.alarms_)
