@@ -65,6 +65,14 @@ class ConformalizedQuantileRegressor(BaseRegressor):
         ``estimator``; e.g. the package-default CatBoost band of
         :class:`~repro.models.quantile.PackageDefaultQuantileBand`.  When
         given, ``estimator`` may be ``None``.
+    n_jobs:
+        Concurrency for the band fit: the lo/hi quantile clones are
+        independent, so ``n_jobs >= 2`` trains the pair in parallel (see
+        :class:`~repro.models.quantile.QuantileBandRegressor`).  ``None``
+        reads ``REPRO_N_JOBS``; calibration itself is a single quantile
+        computation and always runs inline.  Ignored when
+        ``band_template`` is given (the template carries its own
+        concurrency configuration).
     random_state:
         Seed for the train/calibration split.
     """
@@ -76,6 +84,7 @@ class ConformalizedQuantileRegressor(BaseRegressor):
         calibration_fraction: float = 0.25,
         symmetric: bool = True,
         band_template=None,
+        n_jobs: Optional[int] = None,
         random_state: Optional[int] = None,
     ) -> None:
         if not 0.0 < alpha < 1.0:
@@ -87,6 +96,7 @@ class ConformalizedQuantileRegressor(BaseRegressor):
         self.calibration_fraction = calibration_fraction
         self.symmetric = symmetric
         self.band_template = band_template
+        self.n_jobs = n_jobs
         self.random_state = random_state
         self.band_ = None
 
@@ -101,7 +111,9 @@ class ConformalizedQuantileRegressor(BaseRegressor):
         if self.band_template is not None:
             band = clone(self.band_template)
         else:
-            band = QuantileBandRegressor(self.estimator, alpha=self.alpha)
+            band = QuantileBandRegressor(
+                self.estimator, alpha=self.alpha, n_jobs=self.n_jobs
+            )
         band.fit(X[train_idx], y[train_idx])
         self.band_ = band
 

@@ -8,6 +8,17 @@ Configuration lives in ``pyproject.toml`` next to the code::
     exclude = ["examples/*"]      # path globs never linted
     test-dirs = ["tests"]         # directory names classified as tests
 
+    [tool.reprolint.perf]         # a named *scope*: extra filtering
+    paths = ["src/repro/perf/*"]  # globs the scope applies to
+    disable = ["REP102"]          # rules off for matching files only
+
+Nested tables under ``[tool.reprolint]`` are scopes: per-path overlays
+that *narrow* the rule set for files matching their ``paths`` globs
+(``disable`` switches rules off there; a non-empty ``enable`` keeps only
+those rules there).  Scopes never re-enable a rule the base config
+disabled, so the global configuration stays the single source of truth
+for what can run at all.
+
 TOML parsing uses :mod:`tomllib` (Python >= 3.11) and degrades
 gracefully: on older interpreters without ``tomli`` installed the
 defaults are used and a note is attached to :attr:`LintConfig.notes`
@@ -29,9 +40,35 @@ except ModuleNotFoundError:  # pragma: no cover - exercised only on <3.11
     except ModuleNotFoundError:
         _toml = None  # type: ignore[assignment]
 
-__all__ = ["LintConfig", "find_pyproject", "load_config"]
+__all__ = ["LintConfig", "ScopeConfig", "find_pyproject", "load_config"]
 
 _DEFAULT_TEST_DIRS = ("tests",)
+
+
+@dataclass(frozen=True)
+class ScopeConfig:
+    """Per-path rule filtering for one ``[tool.reprolint.<name>]`` table.
+
+    A scope applies to every linted file matching one of its ``paths``
+    globs.  Within its paths, ``disable`` switches listed rules off and a
+    non-empty ``enable`` keeps *only* the listed rules -- both can only
+    narrow the globally enabled set, never resurrect a rule the base
+    config disabled.
+    """
+
+    name: str
+    paths: Tuple[str, ...]
+    disable: FrozenSet[str] = frozenset()
+    enable: FrozenSet[str] = frozenset()
+
+    def matches(self, path: str) -> bool:
+        """Return whether ``path`` falls inside this scope."""
+        candidates = (path, Path(path).as_posix())
+        return any(
+            fnmatch.fnmatch(candidate, pattern)
+            for candidate in candidates
+            for pattern in self.paths
+        )
 
 
 @dataclass(frozen=True)
@@ -48,6 +85,7 @@ class LintConfig:
     enable: FrozenSet[str] = frozenset()
     exclude: Tuple[str, ...] = ()
     test_dirs: FrozenSet[str] = frozenset(_DEFAULT_TEST_DIRS)
+    scopes: Tuple[ScopeConfig, ...] = ()
     notes: Tuple[str, ...] = ()
 
     def rule_enabled(self, rule_id: str, rule_name: str) -> bool:
@@ -56,6 +94,26 @@ class LintConfig:
         if self.enable:
             return bool(keys & self.enable)
         return not keys & self.disable
+
+    def rule_enabled_for(self, path: str, rule_id: str, rule_name: str) -> bool:
+        """Return whether a rule runs on ``path``, scopes included.
+
+        The base enable/disable filters apply everywhere; every scope
+        whose ``paths`` match then gets a veto.  Scopes therefore only
+        narrow -- a rule the base config disables stays off even inside
+        a scope that lists it under ``enable``.
+        """
+        if not self.rule_enabled(rule_id, rule_name):
+            return False
+        keys = {rule_id, rule_name}
+        for scope in self.scopes:
+            if not scope.matches(path):
+                continue
+            if scope.enable and not keys & scope.enable:
+                return False
+            if keys & scope.disable:
+                return False
+        return True
 
     def is_excluded(self, path: str) -> bool:
         """Return whether ``path`` matches any configured exclude glob."""
@@ -111,12 +169,17 @@ def load_config(start: Optional[str] = None) -> LintConfig:
         return LintConfig()
     if not isinstance(section, dict):
         raise ValueError("[tool.reprolint] must be a table")
+    # Nested tables are named scopes ([tool.reprolint.perf] etc.); every
+    # other key must come from the known top-level set.
+    scope_items = {
+        key: value for key, value in section.items() if isinstance(value, dict)
+    }
     known = {"disable", "enable", "exclude", "test-dirs"}
-    unknown = set(section) - known
+    unknown = set(section) - known - set(scope_items)
     if unknown:
         raise ValueError(
             f"[tool.reprolint] has unknown keys {sorted(unknown)}; "
-            f"expected a subset of {sorted(known)}"
+            f"expected a subset of {sorted(known)} or nested scope tables"
         )
     return LintConfig(
         disable=frozenset(_as_str_tuple(section.get("disable", []), "disable")),
@@ -125,4 +188,28 @@ def load_config(start: Optional[str] = None) -> LintConfig:
         test_dirs=frozenset(
             _as_str_tuple(section.get("test-dirs", list(_DEFAULT_TEST_DIRS)), "test-dirs")
         ),
+        scopes=tuple(
+            _load_scope(name, table) for name, table in sorted(scope_items.items())
+        ),
+    )
+
+
+def _load_scope(name: str, table: Dict[str, Any]) -> ScopeConfig:
+    known = {"paths", "disable", "enable"}
+    unknown = set(table) - known
+    if unknown:
+        raise ValueError(
+            f"[tool.reprolint.{name}] has unknown keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    paths = _as_str_tuple(table.get("paths", []), f"{name}.paths")
+    if not paths:
+        raise ValueError(
+            f"[tool.reprolint.{name}] must declare a non-empty 'paths' list"
+        )
+    return ScopeConfig(
+        name=name,
+        paths=paths,
+        disable=frozenset(_as_str_tuple(table.get("disable", []), f"{name}.disable")),
+        enable=frozenset(_as_str_tuple(table.get("enable", []), f"{name}.enable")),
     )

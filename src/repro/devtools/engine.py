@@ -200,7 +200,14 @@ class LintEngine:
             role=role,
             suppressions=collect_suppressions(source),
         )
-        active = [rule for rule in self.rules if rule.applies_to(role)]
+        # Scoped config can narrow the rule set per path (the globally
+        # filtered ``self.rules`` is the ceiling; scopes only veto).
+        active = [
+            rule
+            for rule in self.rules
+            if rule.applies_to(role)
+            and self.config.rule_enabled_for(path, rule.rule_id, rule.name)
+        ]
         for rule in active:
             rule.start_module(context)
 

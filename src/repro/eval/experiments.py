@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,7 @@ from repro.models.linear import LinearRegression, QuantileLinearRegression
 from repro.models.nn import MLPRegressor
 from repro.models.oblivious import ObliviousBoostingRegressor
 from repro.models.quantile import PackageDefaultQuantileBand, QuantileBandRegressor
+from repro.perf.parallel import parallel_map
 from repro.silicon.dataset import SiliconDataset
 
 __all__ = [
@@ -57,7 +58,9 @@ __all__ = [
     "REGION_METHOD_NAMES",
     "ExperimentProfile",
     "run_point_experiment",
+    "run_point_grid",
     "run_region_experiment",
+    "run_region_grid",
 ]
 
 POINT_MODEL_NAMES = ("LR", "GP", "XGBoost", "CatBoost", "NN")
@@ -101,6 +104,11 @@ class ExperimentProfile:
     gp_restarts: int = 2
     xgb_estimators: int = 100
     xgb_max_bins: int = 32
+    xgb_tree_method: str = "hist"
+    """Split finder for the XGBoost-style model: ``"hist"`` (quantile-
+    binned histogram scan, the default) or ``"exact"`` (every boundary).
+    The perf benchmark pins ``"exact"`` to time the pre-histogram
+    baseline; results on the 156-chip data are indistinguishable."""
     catboost_estimators: int = 100
     catboost_max_bins: int = 32
     cfs_k_values: Tuple[int, ...] = tuple(range(1, 11))
@@ -174,6 +182,7 @@ def _point_template(
         return GradientBoostingRegressor(
             n_estimators=profile.xgb_estimators,
             max_bins=profile.xgb_max_bins,
+            tree_method=profile.xgb_tree_method,
             random_state=seed,
         )
     if name == "CatBoost":
@@ -199,6 +208,7 @@ def _quantile_template(
         return GradientBoostingRegressor(
             n_estimators=profile.xgb_estimators,
             max_bins=profile.xgb_max_bins,
+            tree_method=profile.xgb_tree_method,
             quantile=0.5,
             random_state=seed,
         )
@@ -305,13 +315,15 @@ def run_point_experiment(
     feature_set: FeatureSet = FeatureSet.BOTH,
     profile: Optional[ExperimentProfile] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> PointCVResult:
     """One Fig.-2 cell: CV point-prediction quality of one model.
 
     For CFS-based models (LR/GP/NN) the CFS size is swept over
     ``profile.cfs_k_values`` and the best mean test :math:`R^2` is
     reported -- the paper's "pick 1 to 10 features and report the best
-    testing scores" protocol.
+    testing scores" protocol.  ``n_jobs`` parallelises the CV folds;
+    every metric is identical to the serial run.
     """
     profile = profile or ExperimentProfile.full()
     if model_name not in POINT_MODEL_NAMES:
@@ -327,7 +339,7 @@ def run_point_experiment(
         def builder(X_train, y_train):
             return clone(template).fit(X_train, y_train)
 
-        return cross_validate_point(builder, X, y, kfold)
+        return cross_validate_point(builder, X, y, kfold, n_jobs=n_jobs)
 
     needs_scaling = model_name in ("GP", "NN")
     best: Optional[PointCVResult] = None
@@ -339,7 +351,7 @@ def run_point_experiment(
                 clone(template), k=k, scale=needs_scaling
             ).fit(X_train, y_train)
 
-        result = cross_validate_point(builder, X, y, kfold)
+        result = cross_validate_point(builder, X, y, kfold, n_jobs=n_jobs)
         if best is None or result.r2 > best.r2:
             best = result
     return best
@@ -356,6 +368,7 @@ def run_region_experiment(
     cfs_k: int = 10,
     profile: Optional[ExperimentProfile] = None,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> IntervalCVResult:
     """One Table-III cell: CV interval length/coverage of one method.
 
@@ -364,6 +377,8 @@ def run_region_experiment(
     ``calibration_fraction`` of the training fold (paper: 25 %).  LR/NN
     bases use ``cfs_k`` CFS features (with scaling for NN); boosting bases
     see all raw columns -- the Section IV-C/IV-E configuration.
+    ``n_jobs`` parallelises the CV folds; every metric is identical to
+    the serial run.
     """
     profile = profile or ExperimentProfile.full()
     if not 0.0 < alpha < 1.0:
@@ -386,7 +401,7 @@ def run_region_experiment(
             )
             return model.fit(X_train, y_train)
 
-        return cross_validate_intervals(builder, X, y, kfold)
+        return cross_validate_intervals(builder, X, y, kfold, n_jobs=n_jobs)
 
     family, base_name = method_name.split(" ", 1)
     template = _quantile_template(base_name, profile, seed)
@@ -430,4 +445,95 @@ def run_region_experiment(
     else:  # pragma: no cover - guarded by REGION_METHOD_NAMES check
         raise ValueError(f"unknown method family {family!r}")
 
-    return cross_validate_intervals(builder, X, y, kfold)
+    return cross_validate_intervals(builder, X, y, kfold, n_jobs=n_jobs)
+
+
+def run_point_grid(
+    dataset: SiliconDataset,
+    model_names: Sequence[str],
+    temperatures: Sequence[float],
+    read_points: Sequence[int],
+    feature_set: FeatureSet = FeatureSet.BOTH,
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    n_jobs: Optional[int] = None,
+) -> Dict[Tuple[str, float, int], PointCVResult]:
+    """Fig.-2 grid: every (model, temperature, hours) cell, optionally parallel.
+
+    Cells are mutually independent experiments, so the grid is fanned out
+    through :func:`repro.perf.parallel.parallel_map` with the folds inside
+    each cell forced serial (``n_jobs=1``) -- parallelising both levels
+    would oversubscribe the worker pool.  The returned dict is ordered and
+    keyed by ``(model_name, temperature_c, hours)``; every cell value is
+    identical to a serial run of :func:`run_point_experiment`.
+    """
+    cells = [
+        (name, float(temperature), int(hours))
+        for name in model_names
+        for temperature in temperatures
+        for hours in read_points
+    ]
+
+    def run_cell(cell: Tuple[str, float, int]) -> PointCVResult:
+        name, temperature, hours = cell
+        return run_point_experiment(
+            dataset,
+            name,
+            temperature,
+            hours,
+            feature_set=feature_set,
+            profile=profile,
+            seed=seed,
+            n_jobs=1,
+        )
+
+    results = parallel_map(run_cell, cells, n_jobs=n_jobs)
+    return dict(zip(cells, results))
+
+
+def run_region_grid(
+    dataset: SiliconDataset,
+    method_names: Sequence[str],
+    temperatures: Sequence[float],
+    read_points: Sequence[int],
+    feature_set: FeatureSet = FeatureSet.BOTH,
+    alpha: float = 0.1,
+    calibration_fraction: float = 0.25,
+    cfs_k: int = 10,
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    n_jobs: Optional[int] = None,
+) -> Dict[Tuple[str, float, int], IntervalCVResult]:
+    """Table-III grid: every (method, temperature, hours) cell, optionally parallel.
+
+    Same contract as :func:`run_point_grid`: independent cells fan out
+    through :func:`repro.perf.parallel.parallel_map` with per-cell folds
+    forced serial, results keyed by ``(method_name, temperature_c, hours)``
+    in cell order, values identical to serial
+    :func:`run_region_experiment` calls.
+    """
+    cells = [
+        (name, float(temperature), int(hours))
+        for name in method_names
+        for temperature in temperatures
+        for hours in read_points
+    ]
+
+    def run_cell(cell: Tuple[str, float, int]) -> IntervalCVResult:
+        name, temperature, hours = cell
+        return run_region_experiment(
+            dataset,
+            name,
+            temperature,
+            hours,
+            feature_set=feature_set,
+            alpha=alpha,
+            calibration_fraction=calibration_fraction,
+            cfs_k=cfs_k,
+            profile=profile,
+            seed=seed,
+            n_jobs=1,
+        )
+
+    results = parallel_map(run_cell, cells, n_jobs=n_jobs)
+    return dict(zip(cells, results))

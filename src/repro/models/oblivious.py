@@ -33,7 +33,7 @@ from repro.models.base import (
     check_X,
     check_X_y,
 )
-from repro.models.binning import histogram_cells, histogram_sums, quantile_bin_edges
+from repro.models.binning import FeatureBinner, histogram_cells, histogram_sums
 from repro.models.losses import (
     mse_gradient_hessian,
     pinball_gradient_hessian,
@@ -166,16 +166,15 @@ class ObliviousBoostingRegressor(BaseRegressor):
 
     # -- binning -----------------------------------------------------------
     def _bin_features(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
-        """Digitise every column; returns bin codes and per-column edges."""
-        n_samples, n_features = X.shape
-        edges_per_feature: List[np.ndarray] = []
-        binned = np.zeros((n_samples, n_features), dtype=np.int32)
-        for j in range(n_features):
-            edges = quantile_bin_edges(X[:, j], self.max_bins)
-            edges_per_feature.append(edges)
-            if edges.size:
-                binned[:, j] = np.searchsorted(edges, X[:, j], side="right")
-        return binned, edges_per_feature
+        """Digitise every column; returns bin codes and per-column edges.
+
+        Delegates to :class:`~repro.models.binning.FeatureBinner` so both
+        boosting models share one binning implementation (and its compact
+        uint8 code matrix).
+        """
+        binner = FeatureBinner(self.max_bins)
+        binned = binner.fit_transform(X)
+        return binned, binner.edges_
 
     def _gradients(self, y: np.ndarray, prediction: np.ndarray):
         if self.quantile is None:

@@ -1,0 +1,39 @@
+"""Performance layer: deterministic parallel execution and benchmarking.
+
+``repro.perf`` makes the training/evaluation hot path fast without
+changing a single number:
+
+* :mod:`repro.perf.parallel` -- a seeded, deterministic thread/process
+  map with ordered result collection, a ``REPRO_N_JOBS`` environment
+  override, and graceful serial fallback.  The CQR experiment grid is
+  embarrassingly parallel (split-conformal calibration is independent
+  per model and per fold), so cross-validation folds, experiment grid
+  cells, and the lo/hi quantile pair of a band all fan out through it.
+* :mod:`repro.perf.bench` -- a benchmark recorder that times training
+  stages and writes machine-readable JSON baselines
+  (``BENCH_training.json``) so performance regressions are diffable
+  across commits.
+
+See ``docs/PERFORMANCE.md`` for the environment knobs and the
+determinism guarantees.
+"""
+
+from repro.perf.bench import (
+    BenchRecorder,
+    BenchTiming,
+    load_report,
+    regressions,
+    time_call,
+)
+from repro.perf.parallel import effective_n_jobs, parallel_map, spawn_seeds
+
+__all__ = [
+    "BenchRecorder",
+    "BenchTiming",
+    "effective_n_jobs",
+    "load_report",
+    "parallel_map",
+    "regressions",
+    "spawn_seeds",
+    "time_call",
+]

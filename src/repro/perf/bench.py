@@ -1,0 +1,208 @@
+"""Benchmark recording with machine-readable JSON baselines.
+
+The repo's perf trajectory lives in ``BENCH_training.json`` files: each
+benchmark run times its stages with :func:`time_call`, records them in a
+:class:`BenchRecorder`, and writes one JSON report.  CI uploads the
+report as an artifact; future commits compare against a stored baseline
+with :func:`regressions` instead of eyeballing wall-clock logs.
+
+Report schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "training",
+      "profile": "fast",            # REPRO_BENCH profile the run used
+      "n_jobs": 4,                  # resolved REPRO_N_JOBS
+      "git_sha": "abc123" | null,   # passed in by CI via REPRO_GIT_SHA
+      "timings": {name: {"wall_s": float, "repeats": int, ...meta}},
+      "speedups": {name: float},    # named baseline/candidate ratios
+      "checks": {name: bool}        # e.g. serial-vs-parallel parity
+    }
+
+Wall times are measured with ``time.perf_counter``; everything else in
+the report is deterministic, so two runs of the same commit differ only
+in the ``wall_s`` values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
+
+__all__ = [
+    "BenchRecorder",
+    "BenchTiming",
+    "load_report",
+    "regressions",
+    "time_call",
+]
+
+R = TypeVar("R")
+
+SCHEMA_VERSION = 1
+
+
+def time_call(fn: Callable[[], R], repeats: int = 1) -> Tuple[R, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, best wall time).
+
+    Best-of-N is the standard defence against scheduler noise: the
+    minimum is the least-contended observation of the same deterministic
+    work.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: R
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return result, best
+
+
+class BenchTiming:
+    """One named timing entry plus free-form metadata."""
+
+    def __init__(self, name: str, wall_s: float, repeats: int = 1, **meta: Any) -> None:
+        if wall_s < 0:
+            raise ValueError(f"wall_s must be >= 0, got {wall_s}")
+        self.name = name
+        self.wall_s = float(wall_s)
+        self.repeats = int(repeats)
+        self.meta = dict(meta)
+
+    def as_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"wall_s": self.wall_s, "repeats": self.repeats}
+        entry.update(self.meta)
+        return entry
+
+
+class BenchRecorder:
+    """Accumulate timings/speedups/checks and serialise one JSON report.
+
+    Parameters
+    ----------
+    benchmark:
+        Report family name (``"training"`` for the training-engine
+        suite); becomes part of the file schema, not the file name.
+    profile:
+        The ``REPRO_BENCH`` profile the run used (smoke/fast/full).
+    n_jobs:
+        The resolved worker count the parallel sections ran with.
+    git_sha:
+        Commit identifier; ``None`` reads the ``REPRO_GIT_SHA``
+        environment variable (set by CI), staying ``None`` outside CI.
+    """
+
+    def __init__(
+        self,
+        benchmark: str,
+        profile: str,
+        n_jobs: int = 1,
+        git_sha: Optional[str] = None,
+    ) -> None:
+        self.benchmark = benchmark
+        self.profile = profile
+        self.n_jobs = int(n_jobs)
+        self.git_sha = git_sha if git_sha is not None else (
+            os.environ.get("REPRO_GIT_SHA") or None
+        )
+        self._timings: Dict[str, BenchTiming] = {}
+        self._speedups: Dict[str, float] = {}
+        self._checks: Dict[str, bool] = {}
+
+    def record(self, name: str, wall_s: float, repeats: int = 1, **meta: Any) -> None:
+        """Store one timing entry (overwrites an earlier same-name entry)."""
+        self._timings[name] = BenchTiming(name, wall_s, repeats=repeats, **meta)
+
+    def timed(self, name: str, fn: Callable[[], R], repeats: int = 1, **meta: Any) -> R:
+        """Time ``fn`` with :func:`time_call` and record it under ``name``."""
+        result, wall_s = time_call(fn, repeats=repeats)
+        self.record(name, wall_s, repeats=repeats, **meta)
+        return result
+
+    def wall_s(self, name: str) -> float:
+        """Recorded wall time for ``name`` (KeyError when missing)."""
+        return self._timings[name].wall_s
+
+    def speedup(self, name: str, baseline: str, candidate: str) -> float:
+        """Record and return ``wall(baseline) / wall(candidate)``.
+
+        A zero-duration candidate (clock resolution) reports ``inf`` --
+        honest, and impossible for the real workloads this times.
+        """
+        base = self.wall_s(baseline)
+        cand = self.wall_s(candidate)
+        ratio = float("inf") if cand == 0 else base / cand
+        self._speedups[name] = ratio
+        return ratio
+
+    def check(self, name: str, passed: bool) -> None:
+        """Record a named boolean invariant (e.g. parallel == serial)."""
+        self._checks[name] = bool(passed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "profile": self.profile,
+            "n_jobs": self.n_jobs,
+            "git_sha": self.git_sha,
+            "timings": {
+                name: timing.as_dict() for name, timing in sorted(self._timings.items())
+            },
+            "speedups": dict(sorted(self._speedups.items())),
+            "checks": dict(sorted(self._checks.items())),
+        }
+
+    def write(self, path: "str | Path") -> Path:
+        """Serialise the report to ``path`` (parent dirs created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n")
+        return path
+
+
+def load_report(path: "str | Path") -> Dict[str, Any]:
+    """Load and validate a benchmark JSON report."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "timings" not in data:
+        raise ValueError(f"{path} is not a benchmark report (no 'timings' key)")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has schema_version {version!r}; this reader supports "
+            f"{SCHEMA_VERSION}"
+        )
+    return data
+
+
+def regressions(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = 1.5,
+) -> Dict[str, Tuple[float, float]]:
+    """Timings that got slower than ``threshold`` x the baseline.
+
+    Returns ``{name: (baseline_wall_s, current_wall_s)}`` for every stage
+    present in both reports whose current wall time exceeds
+    ``threshold * baseline``.  Stages unique to either side are ignored
+    -- adding a benchmark must not fail the comparison.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    flagged: Dict[str, Tuple[float, float]] = {}
+    base_timings = baseline.get("timings", {})
+    for name, entry in current.get("timings", {}).items():
+        if name not in base_timings:
+            continue
+        base_wall = float(base_timings[name]["wall_s"])
+        cur_wall = float(entry["wall_s"])
+        if cur_wall > threshold * base_wall:
+            flagged[name] = (base_wall, cur_wall)
+    return flagged

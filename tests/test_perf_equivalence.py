@@ -1,0 +1,249 @@
+"""Equivalence guarantees of the fast training engine.
+
+Three contracts, each load-bearing for the perf work staying honest:
+
+* the batched exact finder grows *identical* trees to the legacy
+  per-feature reference scan,
+* the histogram (binned) finder matches the exact finder's training
+  predictions to 1e-12 on randomised fixtures and its full structure on
+  shallow fixed-seed fixtures (thresholds agree up to bin edges, so test
+  routing between bin edge and exact midpoint may differ -- training
+  partitions cannot),
+* cross-validation harnesses return bit-identical results for every
+  ``n_jobs``.
+
+Plus the hot-loop regression test: node data is sliced once per node
+(through ``_node_view``), never once per candidate feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.crossval import (
+    KFold,
+    cross_validate_intervals,
+    cross_validate_point,
+)
+from repro.models import tree as tree_mod
+from repro.models.binning import FeatureBinner
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+from repro.models.quantile import QuantileBandRegressor
+from repro.models.tree import (
+    DecisionTreeRegressor,
+    GradientTree,
+    TreeGrowthParams,
+    _best_split_all_features,
+    _best_split_for_feature,
+)
+
+
+def _random_problem(seed, n=80, n_features=6, duplicates=False):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, n_features))
+    if duplicates:
+        X = np.round(X, 1)  # heavy value ties exercise tie-breaking
+    gradients = rng.normal(size=n)
+    hessians = np.ones(n)
+    return X, gradients, hessians
+
+
+def _legacy_fit(X, gradients, hessians, params):
+    """The seed's per-feature split loop, reimplemented as ground truth."""
+    tree = GradientTree(params)
+
+    def find_split(node_columns, node_grad, node_hess):
+        best_gain, best_feature, best_threshold = -np.inf, -1, float("nan")
+        for feature in range(node_columns.shape[1]):
+            gain, threshold = _best_split_for_feature(
+                node_columns[:, feature], node_grad, node_hess, params
+            )
+            if gain > best_gain:
+                best_gain, best_feature, best_threshold = gain, feature, threshold
+        if best_feature < 0:
+            return best_gain, -1, best_threshold, np.empty(0, dtype=bool)
+        goes_left = node_columns[:, best_feature] <= best_threshold
+        return best_gain, best_feature, best_threshold, goes_left
+
+    tree._columns = X.astype(np.float64)
+    tree._grow(X.shape[0], gradients, hessians, find_split)
+    del tree._columns
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# batched exact finder == legacy per-feature loop (bit-identical)
+# ---------------------------------------------------------------------------
+
+class TestBatchedExactEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("duplicates", [False, True])
+    def test_identical_trees(self, seed, duplicates):
+        X, gradients, hessians = _random_problem(seed, duplicates=duplicates)
+        params = TreeGrowthParams(max_depth=5, min_samples_leaf=2)
+        fast = GradientTree(params).fit_gradients(X, gradients, hessians)
+        legacy = _legacy_fit(X, gradients, hessians, params)
+        np.testing.assert_array_equal(fast.feature_, legacy.feature_)
+        np.testing.assert_array_equal(fast.threshold_, legacy.threshold_)
+        np.testing.assert_array_equal(fast.value_, legacy.value_)
+
+    def test_single_column_matches_reference_finder(self):
+        X, gradients, hessians = _random_problem(3, n_features=1)
+        params = TreeGrowthParams()
+        gain_ref, thr_ref = _best_split_for_feature(
+            X[:, 0], gradients, hessians, params
+        )
+        gain, pos, thr = _best_split_all_features(X, gradients, hessians, params)
+        assert pos == 0
+        assert gain == gain_ref
+        assert thr == thr_ref
+
+    def test_no_admissible_split(self):
+        X = np.full((8, 3), 2.5)  # constant features: nothing to split on
+        gain, pos, thr = _best_split_all_features(
+            X, np.ones(8), np.ones(8), TreeGrowthParams()
+        )
+        assert gain == -np.inf and pos == -1 and np.isnan(thr)
+
+
+# ---------------------------------------------------------------------------
+# histogram finder vs exact finder
+# ---------------------------------------------------------------------------
+
+class TestBinnedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_training_predictions_match(self, seed):
+        X, gradients, hessians = _random_problem(seed, n=120)
+        params = TreeGrowthParams(max_depth=5, min_samples_leaf=2)
+        exact = GradientTree(params).fit_gradients(X, gradients, hessians)
+        binner = FeatureBinner(max_bins=256)
+        hist = GradientTree(params).fit_binned(
+            binner.fit_transform(X), binner, gradients, hessians
+        )
+        # With >= one bin per distinct value the partitions are identical;
+        # last-ulp gain ties may pick a different but equivalent split, so
+        # the contract is on training predictions, not node layout.
+        np.testing.assert_allclose(
+            hist.predict(X), exact.predict(X), rtol=0.0, atol=1e-12
+        )
+
+    def test_shallow_structure_identical(self):
+        # Shallow + well-separated data: structure matches exactly too
+        # (the tests/test_histtree.py convention).
+        X, gradients, hessians = _random_problem(2024, n=64, n_features=4)
+        params = TreeGrowthParams(max_depth=3, min_samples_leaf=2)
+        exact = GradientTree(params).fit_gradients(X, gradients, hessians)
+        binner = FeatureBinner(max_bins=256)
+        hist = GradientTree(params).fit_binned(
+            binner.fit_transform(X), binner, gradients, hessians
+        )
+        np.testing.assert_array_equal(hist.feature_, exact.feature_)
+        np.testing.assert_array_equal(hist.left_, exact.left_)
+        np.testing.assert_array_equal(hist.right_, exact.right_)
+        # Thresholds agree "up to bin edges": the stored cut points differ
+        # (bin edge vs node-local midpoint) but every training row lands
+        # in the same leaf, so leaf values -- and therefore training
+        # predictions -- are bit-identical.
+        np.testing.assert_array_equal(hist.predict(X), exact.predict(X))
+
+    def test_decision_tree_splitter_equivalence(self, linear_data):
+        X, y, _, _ = linear_data
+        exact = DecisionTreeRegressor(max_depth=4, splitter="exact").fit(X, y)
+        hist = DecisionTreeRegressor(
+            max_depth=4, splitter="hist", max_bins=256
+        ).fit(X, y)
+        np.testing.assert_allclose(
+            hist.predict(X), exact.predict(X), rtol=0.0, atol=1e-12
+        )
+
+    def test_invalid_splitter_rejected(self):
+        with pytest.raises(ValueError, match="splitter"):
+            DecisionTreeRegressor(splitter="sorted")
+
+
+# ---------------------------------------------------------------------------
+# hot-loop regression: slice once per node, not once per feature
+# ---------------------------------------------------------------------------
+
+class TestNodeSlicingRegression:
+    def test_node_view_called_once_per_node(self, monkeypatch):
+        X, gradients, hessians = _random_problem(0, n=60, n_features=5)
+        calls = []
+        real_view = tree_mod._node_view
+
+        def counting_view(columns, grads, hess, rows):
+            calls.append(rows.size)
+            return real_view(columns, grads, hess, rows)
+
+        monkeypatch.setattr(tree_mod, "_node_view", counting_view)
+        tree = GradientTree(TreeGrowthParams(max_depth=4)).fit_gradients(
+            X, gradients, hessians
+        )
+        # Exactly one slice per materialised node -- with 5 candidate
+        # features, the historical per-feature slicing would have made
+        # ~5x as many.
+        assert len(calls) == tree.n_nodes
+
+    def test_reference_finder_not_used_in_production_fit(self, monkeypatch):
+        X, gradients, hessians = _random_problem(1)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "_best_split_for_feature is the legacy reference; "
+                "production fits must use the batched finders"
+            )
+
+        monkeypatch.setattr(tree_mod, "_best_split_for_feature", forbidden)
+        GradientTree(TreeGrowthParams(max_depth=4)).fit_gradients(
+            X, gradients, hessians
+        )
+        binner = FeatureBinner(max_bins=32)
+        GradientTree(TreeGrowthParams(max_depth=4)).fit_binned(
+            binner.fit_transform(X), binner, gradients, hessians
+        )
+
+
+# ---------------------------------------------------------------------------
+# n_jobs never changes cross-validation results
+# ---------------------------------------------------------------------------
+
+class TestParallelCVEquivalence:
+    def test_point_cv_identical(self, linear_data):
+        X, y, _, _ = linear_data
+        kfold = KFold(n_splits=4, shuffle=True, random_state=0)
+
+        def builder(X_train, y_train):
+            return LinearRegression().fit(X_train, y_train)
+
+        serial = cross_validate_point(builder, X, y, kfold, n_jobs=1)
+        threaded = cross_validate_point(builder, X, y, kfold, n_jobs=4)
+        assert serial.r2_per_fold == threaded.r2_per_fold
+        assert serial.rmse_per_fold == threaded.rmse_per_fold
+
+    def test_interval_cv_identical(self, hetero_data):
+        X, y = hetero_data
+        kfold = KFold(n_splits=4, shuffle=True, random_state=0)
+
+        def builder(X_train, y_train):
+            band = QuantileBandRegressor(
+                QuantileLinearRegression(), alpha=0.1
+            )
+            return band.fit(X_train, y_train)
+
+        serial = cross_validate_intervals(builder, X, y, kfold, n_jobs=1)
+        threaded = cross_validate_intervals(builder, X, y, kfold, n_jobs=4)
+        assert serial.coverage_per_fold == threaded.coverage_per_fold
+        assert serial.width_per_fold == threaded.width_per_fold
+
+    def test_band_pair_fit_identical(self, hetero_data):
+        X, y = hetero_data
+        serial = QuantileBandRegressor(
+            QuantileLinearRegression(), alpha=0.1, n_jobs=1
+        ).fit(X, y)
+        threaded = QuantileBandRegressor(
+            QuantileLinearRegression(), alpha=0.1, n_jobs=2
+        ).fit(X, y)
+        for lo_s, lo_t in ((serial.lower_, threaded.lower_),
+                           (serial.upper_, threaded.upper_)):
+            np.testing.assert_array_equal(lo_s.coef_, lo_t.coef_)

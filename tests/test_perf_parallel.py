@@ -1,0 +1,165 @@
+"""Tests for the deterministic parallel execution engine (repro.perf.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf import parallel as parallel_mod
+from repro.perf.parallel import effective_n_jobs, parallel_map, spawn_seeds
+
+
+# ---------------------------------------------------------------------------
+# effective_n_jobs
+# ---------------------------------------------------------------------------
+
+class TestEffectiveNJobs:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "8")
+        assert effective_n_jobs(3) == 3
+
+    def test_none_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        assert effective_n_jobs(None) == 1
+
+    def test_none_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "6")
+        assert effective_n_jobs(None) == 6
+
+    def test_empty_environment_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "")
+        assert effective_n_jobs(None) == 1
+
+    def test_garbage_environment_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_N_JOBS"):
+            effective_n_jobs(None)
+
+    def test_minus_one_uses_cpu_count(self):
+        import os
+
+        assert effective_n_jobs(-1) == max(1, os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_nonpositive_raises(self, bad):
+        with pytest.raises(ValueError):
+            effective_n_jobs(bad)
+
+
+# ---------------------------------------------------------------------------
+# spawn_seeds
+# ---------------------------------------------------------------------------
+
+class TestSpawnSeeds:
+    def test_none_parent_gives_none_children(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+
+    def test_deterministic(self):
+        assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+
+    def test_children_distinct(self):
+        seeds = spawn_seeds(7, 8)
+        assert len(set(seeds)) == 8
+
+    def test_prefix_stable(self):
+        # Growing the worker count must not reshuffle earlier seeds.
+        assert spawn_seeds(11, 3) == spawn_seeds(11, 6)[:3]
+
+    def test_different_parents_differ(self):
+        assert spawn_seeds(1, 4) != spawn_seeds(2, 4)
+
+
+# ---------------------------------------------------------------------------
+# parallel_map
+# ---------------------------------------------------------------------------
+
+def _square(value):
+    return value * value
+
+
+class TestParallelMap:
+    def test_ordered_results_serial(self):
+        assert parallel_map(_square, range(10), n_jobs=1) == [
+            i * i for i in range(10)
+        ]
+
+    def test_ordered_results_threads(self):
+        assert parallel_map(_square, range(20), n_jobs=4) == [
+            i * i for i in range(20)
+        ]
+
+    def test_ordered_results_processes(self):
+        result = parallel_map(_square, range(6), n_jobs=2, backend="process")
+        assert result == [i * i for i in range(6)]
+
+    def test_closures_work_with_threads(self):
+        data = np.arange(12.0)
+
+        def pick(index):
+            return float(data[index])
+
+        assert parallel_map(pick, range(12), n_jobs=4) == list(map(float, data))
+
+    def test_identical_to_serial(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3))
+
+        def fit_stub(seed):
+            local = np.random.default_rng(seed)
+            return float(X.sum() + local.normal())
+
+        seeds = spawn_seeds(123, 8)
+        serial = parallel_map(fit_stub, seeds, n_jobs=1)
+        threaded = parallel_map(fit_stub, seeds, n_jobs=4)
+        assert serial == threaded
+
+    def test_exception_propagates_serial(self):
+        def boom(value):
+            raise RuntimeError(f"bad item {value}")
+
+        with pytest.raises(RuntimeError, match="bad item"):
+            parallel_map(boom, [1], n_jobs=1)
+
+    def test_exception_propagates_parallel(self):
+        def maybe_boom(value):
+            if value == 3:
+                raise ValueError("worker exploded")
+            return value
+
+        with pytest.raises(ValueError, match="worker exploded"):
+            parallel_map(maybe_boom, range(8), n_jobs=4)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "1")
+        calls = []
+
+        def record(value):
+            calls.append(value)
+            return value
+
+        assert parallel_map(record, range(5)) == list(range(5))
+        assert calls == list(range(5))  # serial preserves submission order
+
+    def test_single_item_stays_serial(self, monkeypatch):
+        def no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool created for a single item")
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", no_pool)
+        assert parallel_map(_square, [7], n_jobs=4) == [49]
+
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        class Unavailable:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no threads in this sandbox")
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", Unavailable)
+        assert parallel_map(_square, range(6), n_jobs=4) == [
+            i * i for i in range(6)
+        ]
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="backend"):
+            parallel_map(_square, range(3), n_jobs=2, backend="rayon")
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], n_jobs=4) == []

@@ -125,6 +125,75 @@ class TestLoadConfig:
         with pytest.raises(ValueError, match="list of strings"):
             load_config(anchor)
 
+    def test_reads_scope_tables(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path,
+            '[tool.reprolint]\ndisable = []\n'
+            '[tool.reprolint.perf]\npaths = ["src/repro/perf/*"]\n'
+            'disable = ["REP102"]\n',
+        )
+        config = load_config(anchor)
+        assert len(config.scopes) == 1
+        scope = config.scopes[0]
+        assert scope.name == "perf"
+        assert scope.paths == ("src/repro/perf/*",)
+        assert scope.disable == frozenset({"REP102"})
+
+    def test_scope_unknown_key_raises(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path,
+            '[tool.reprolint.perf]\npaths = ["src/*"]\nexclude = ["x"]\n',
+        )
+        with pytest.raises(ValueError, match=r"reprolint\.perf.*unknown keys"):
+            load_config(anchor)
+
+    def test_scope_requires_paths(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path, '[tool.reprolint.perf]\ndisable = ["REP102"]\n'
+        )
+        with pytest.raises(ValueError, match="paths"):
+            load_config(anchor)
+
+
+class TestScopedFiltering:
+    def scoped_config(self, **kwargs):
+        from repro.devtools.config import ScopeConfig
+
+        return LintConfig(
+            scopes=(ScopeConfig(name="perf", paths=("src/repro/perf/*",), **kwargs),)
+        )
+
+    def test_scope_disables_rule_inside_paths_only(self):
+        config = self.scoped_config(disable=frozenset({"REP104"}))
+        code = "def f(x):\n    assert x\n    return x\n"
+        inside = lint_source(code, path="src/repro/perf/bench.py", config=config)
+        outside = lint_source(code, path="src/repro/core/cqr.py", config=config)
+        assert "REP104" not in {f.rule_id for f in inside}
+        assert "REP104" in {f.rule_id for f in outside}
+
+    def test_scope_enable_keeps_only_listed_rules(self):
+        config = self.scoped_config(enable=frozenset({"REP103"}))
+        code = "def f(x, cache={}):\n    assert x\n    return cache\n"
+        inside = lint_source(code, path="src/repro/perf/bench.py", config=config)
+        assert {f.rule_id for f in inside} == {"REP103"}
+
+    def test_scope_cannot_resurrect_base_disabled_rule(self):
+        from repro.devtools.config import ScopeConfig
+
+        config = LintConfig(
+            disable=frozenset({"REP104"}),
+            scopes=(
+                ScopeConfig(
+                    name="perf",
+                    paths=("src/repro/perf/*",),
+                    enable=frozenset({"REP104"}),
+                ),
+            ),
+        )
+        assert not config.rule_enabled_for(
+            "src/repro/perf/bench.py", "REP104", "no-assert-in-src"
+        )
+
 
 class TestEngineBehaviour:
     def test_syntax_error_becomes_rep000(self):
