@@ -31,6 +31,7 @@ from typing import Tuple
 import pytest
 
 from repro.eval.experiments import ExperimentProfile, FeatureSet, run_region_experiment
+from repro.eval.reporting import write_report
 from repro.silicon import READ_POINTS_HOURS, TEMPERATURES_C, SiliconDataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -74,8 +75,7 @@ def publish(name: str, text: str) -> None:
     print(banner)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.{bench_profile_name()}.txt"
-    path.write_text(text + "\n")
+    write_report(RESULTS_DIR / f"{name}.{bench_profile_name()}.txt", text)
 
 
 FEATURE_SETS = (

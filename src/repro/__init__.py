@@ -18,7 +18,10 @@ substrate the paper depends on:
 * :mod:`repro.eval` -- the 4-fold-CV evaluation protocol and the
   experiment registry behind every reproduced table/figure,
 * :mod:`repro.robust` -- fault injection, graceful degradation, and
-  coverage-drift monitoring for the deployed serving flow.
+  coverage-drift monitoring for the deployed serving flow,
+* :mod:`repro.runtime` -- the resilient execution runtime: deterministic
+  retries, watchdog timeouts, checkpoint/resume journals, and atomic
+  artifact writes backing the experiment grids.
 
 Quickstart::
 
@@ -62,6 +65,13 @@ from repro.robust import (
     FaultCampaign,
     RobustVminFlow,
 )
+from repro.runtime import (
+    PermanentFault,
+    RetryPolicy,
+    RunJournal,
+    TaskTimeout,
+    TransientFault,
+)
 from repro.silicon import SiliconDataset
 
 __version__ = "1.0.0"
@@ -84,13 +94,18 @@ __all__ = [
     "MLPRegressor",
     "MondrianConformalRegressor",
     "ObliviousBoostingRegressor",
+    "PermanentFault",
     "PredictionIntervals",
     "QuantileBandRegressor",
     "QuantileLinearRegression",
+    "RetryPolicy",
     "RobustVminFlow",
+    "RunJournal",
     "SiliconDataset",
     "SpecScreeningPolicy",
     "SplitConformalRegressor",
+    "TaskTimeout",
+    "TransientFault",
     "VminPredictionFlow",
     "__version__",
 ]

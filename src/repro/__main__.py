@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the non-programmatic workflows:
+Four commands cover the non-programmatic workflows:
 
 * ``generate`` -- create a synthetic lot and save its measurements to a
   ``.npz`` (optionally also the burn-in flow log as CSV),
 * ``predict`` -- fit the recommended CQR pipeline on a saved (or fresh)
   lot and print calibrated intervals for held-out chips,
-* ``info`` -- describe a saved lot (shapes, read points, corners).
+* ``info`` -- describe a saved lot (shapes, read points, corners),
+* ``grid`` -- run a point/region experiment grid with the resilient
+  runtime: journaled checkpoint/``--resume``, deterministic
+  ``--max-retries``, per-cell ``--task-timeout``, and atomic
+  ``--output`` JSON with a checksum sidecar.
 
 The CLI exists so a test-floor engineer can produce and inspect data
 without writing Python; everything it does is a thin shim over the
@@ -18,12 +22,23 @@ from __future__ import annotations
 import argparse
 import sys
 import zipfile
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro import SiliconDataset, VminPredictionFlow
+from repro.eval.experiments import (
+    POINT_MODEL_NAMES,
+    REGION_METHOD_NAMES,
+    ExperimentProfile,
+    GridResult,
+    run_point_grid,
+    run_region_grid,
+)
 from repro.models import ObliviousBoostingRegressor
+from repro.runtime.artifacts import write_checksum, write_json_atomic
+from repro.runtime.checkpoint import RunJournal
+from repro.runtime.retry import RetryPolicy
 from repro.silicon.io import export_flow_csv, load_measurements, save_measurements
 
 __all__ = ["build_parser", "main"]
@@ -136,6 +151,148 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_list(text: str) -> List[str]:
+    """Split a comma-separated CLI list, dropping empty entries."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _grid_cell_rows(kind: str, result: GridResult) -> List[Dict[str, Any]]:
+    """Flatten a grid into JSON-ready per-cell rows (cell order)."""
+    rows: List[Dict[str, Any]] = []
+    for (name, temperature, hours), cell in result.items():
+        row: Dict[str, Any] = {
+            "name": name,
+            "temperature_c": temperature,
+            "hours": hours,
+        }
+        if kind == "point":
+            row.update(
+                r2=cell.r2,
+                rmse=cell.rmse,
+                r2_per_fold=list(cell.r2_per_fold),
+                rmse_per_fold=list(cell.rmse_per_fold),
+            )
+        else:
+            row.update(
+                coverage=cell.coverage,
+                width=cell.width,
+                coverage_per_fold=list(cell.coverage_per_fold),
+                width_per_fold=list(cell.width_per_fold),
+            )
+        rows.append(row)
+    return rows
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    known = POINT_MODEL_NAMES if args.kind == "point" else REGION_METHOD_NAMES
+    names = _split_list(args.names) if args.names else [known[0]]
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(
+            f"error: unknown {args.kind} names {unknown}; expected a subset "
+            f"of {list(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    temperatures = [float(t) for t in _split_list(args.temperatures)]
+    read_points = [int(h) for h in _split_list(args.hours)]
+    if not temperatures or not read_points:
+        print("error: --temperatures and --hours must be non-empty", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    journal: Optional[RunJournal] = None
+    if args.journal:
+        journal = RunJournal(
+            args.journal,
+            meta={"kind": args.kind, "profile": args.profile, "seed": args.seed},
+        )
+        if journal.path.exists() and journal.path.stat().st_size > 0:
+            if not args.resume:
+                print(
+                    f"error: journal {journal.path} already exists; pass "
+                    "--resume to continue it or remove the file to start over",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"resuming from {journal.path} ({len(journal)} cells recorded)")
+
+    if args.dataset:
+        dataset = load_measurements(args.dataset)
+    else:
+        dataset = SiliconDataset.generate(seed=args.seed)
+    profile = ExperimentProfile.from_name(args.profile)
+    retry_policy = (
+        RetryPolicy(max_attempts=args.max_retries + 1, seed=args.seed)
+        if args.max_retries > 0
+        else None
+    )
+
+    common: Dict[str, Any] = dict(
+        profile=profile,
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        journal=journal,
+        retry_policy=retry_policy,
+        timeout=args.task_timeout,
+        on_error="capture",
+    )
+    if args.kind == "point":
+        result = run_point_grid(dataset, names, temperatures, read_points, **common)
+    else:
+        result = run_region_grid(
+            dataset, names, temperatures, read_points, alpha=args.alpha, **common
+        )
+
+    for (name, temperature, hours), cell in result.items():
+        if args.kind == "point":
+            metrics = f"R2 {cell.r2:6.3f}, RMSE {cell.rmse:6.2f} mV"
+        else:
+            metrics = f"coverage {cell.coverage:.1%}, width {cell.width:6.2f} mV"
+        print(f"  {name:>12s} @ {temperature:>6g}C, {hours:>5d}h: {metrics}")
+    for failure in result.failures:
+        name, temperature, hours = failure.key
+        print(
+            f"  {name:>12s} @ {temperature:>6g}C, {hours:>5d}h: FAILED "
+            f"after {failure.attempts} attempt(s) "
+            f"[{failure.error_type}] {failure.message}",
+            file=sys.stderr,
+        )
+    print(
+        f"grid: {len(result)}/{len(result) + len(result.failures)} cells ok, "
+        f"{result.n_retried} retried"
+    )
+
+    if args.output:
+        report = {
+            "schema_version": 1,
+            "kind": args.kind,
+            "profile": args.profile,
+            "seed": args.seed,
+            "cells": _grid_cell_rows(args.kind, result),
+            "failures": [
+                {
+                    "name": f.key[0],
+                    "temperature_c": f.key[1],
+                    "hours": f.key[2],
+                    "error_type": f.error_type,
+                    "attempts": f.attempts,
+                    "timed_out": f.timed_out,
+                }
+                for f in result.failures
+            ],
+        }
+        path = write_json_atomic(args.output, report)
+        sidecar = write_checksum(path)
+        print(f"results written to {path} (checksum {sidecar.name})")
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the three-command argument parser (generate/info/predict)."""
     parser = argparse.ArgumentParser(
@@ -172,11 +329,69 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--trees", type=int, default=100)
     predict.add_argument("--seed", type=_seed_value, default=0)
     predict.set_defaults(handler=_cmd_predict)
+
+    grid = commands.add_parser(
+        "grid",
+        help="run an experiment grid with checkpoint/resume and retries",
+    )
+    grid.add_argument(
+        "--kind", choices=("point", "region"), default="point",
+        help="point (Fig. 2) or region (Table III) grid",
+    )
+    grid.add_argument(
+        "--dataset", default=None, help=".npz lot (default: generate fresh)"
+    )
+    grid.add_argument(
+        "--names", default=None,
+        help="comma-separated model/method names (default: first known name)",
+    )
+    grid.add_argument(
+        "--temperatures", default="25",
+        help="comma-separated corner temperatures in C (default: 25)",
+    )
+    grid.add_argument(
+        "--hours", default="0",
+        help="comma-separated read points in hours (default: 0)",
+    )
+    grid.add_argument(
+        "--profile", choices=("smoke", "fast", "full"), default="smoke"
+    )
+    grid.add_argument("--alpha", type=float, default=0.1)
+    grid.add_argument("--seed", type=_seed_value, default=0)
+    grid.add_argument(
+        "--journal", default=None,
+        help="JSONL run journal; completed cells survive a crash",
+    )
+    grid.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing journal instead of refusing it",
+    )
+    grid.add_argument(
+        "--max-retries", type=int, default=0,
+        help="extra attempts per cell on transient faults (default: 0)",
+    )
+    grid.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-cell watchdog deadline in seconds (default: none)",
+    )
+    grid.add_argument(
+        "--n-jobs", type=int, default=None,
+        help="grid worker count (default: REPRO_N_JOBS or cpu count)",
+    )
+    grid.add_argument(
+        "--output", default=None,
+        help="write grid results JSON atomically, with a .sha256 sidecar",
+    )
+    grid.set_defaults(handler=_cmd_grid)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the CLI; returns the process exit code (0 ok, 2 user error).
+    """Run the CLI; returns the process exit code.
+
+    0 means success, 1 means a grid completed with captured cell
+    failures (partial results were still written), 2 means a user
+    error (bad arguments, unreadable inputs).
 
     Argument errors (argparse's exit code 2) and predictable runtime
     failures -- a dataset path that does not exist, a file that is not a

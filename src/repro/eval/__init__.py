@@ -7,6 +7,15 @@ prediction.  :mod:`repro.eval.experiments` encodes each table and figure
 of the paper as a declarative experiment the benchmark harness runs, and
 :mod:`repro.eval.stress` measures coverage/length degradation under the
 fault campaigns of :mod:`repro.robust`.
+
+The grid runners (:func:`run_point_grid`, :func:`run_region_grid`) are
+resilient: they checkpoint completed cells to a
+:class:`~repro.runtime.checkpoint.RunJournal`, retry transient worker
+faults deterministically, bound each cell with a watchdog timeout, and
+can capture failures as structured :class:`FailureRecord` entries
+instead of aborting -- see ``docs/RUNTIME.md``.
+:func:`run_execution_campaign` stress-tests exactly that machinery by
+crashing and hanging workers mid-grid.
 """
 
 from repro.eval.diagnostics import (
@@ -33,16 +42,33 @@ from repro.eval.metrics import (
 from repro.eval.experiments import (
     POINT_MODEL_NAMES,
     REGION_METHOD_NAMES,
+    ExperimentProfile,
+    FailureRecord,
     FeatureSet,
+    GridResult,
     run_point_experiment,
+    run_point_grid,
     run_region_experiment,
+    run_region_grid,
 )
-from repro.eval.reporting import format_series, format_table
-from repro.eval.stress import StressReport, StressResult, run_fault_campaign
+from repro.eval.reporting import format_series, format_table, write_report
+from repro.eval.stress import (
+    ExecutionStressReport,
+    ExecutionStressResult,
+    StressReport,
+    StressResult,
+    run_execution_campaign,
+    run_fault_campaign,
+)
 
 __all__ = [
     "CoverageReport",
+    "ExecutionStressReport",
+    "ExecutionStressResult",
+    "ExperimentProfile",
+    "FailureRecord",
     "FeatureSet",
+    "GridResult",
     "IntervalCVResult",
     "KFold",
     "POINT_MODEL_NAMES",
@@ -63,7 +89,11 @@ __all__ = [
     "pinball_score",
     "r2_score",
     "rmse",
+    "run_execution_campaign",
     "run_fault_campaign",
     "run_point_experiment",
+    "run_point_grid",
     "run_region_experiment",
+    "run_region_grid",
+    "write_report",
 ]

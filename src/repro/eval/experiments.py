@@ -26,8 +26,9 @@ selects the profile via the ``REPRO_BENCH`` environment variable.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,11 +50,15 @@ from repro.models.linear import LinearRegression, QuantileLinearRegression
 from repro.models.nn import MLPRegressor
 from repro.models.oblivious import ObliviousBoostingRegressor
 from repro.models.quantile import PackageDefaultQuantileBand, QuantileBandRegressor
-from repro.perf.parallel import parallel_map
+from repro.perf.parallel import parallel_map_outcomes
+from repro.runtime.checkpoint import RunJournal, cell_fingerprint
+from repro.runtime.retry import RetryPolicy
 from repro.silicon.dataset import SiliconDataset
 
 __all__ = [
+    "FailureRecord",
     "FeatureSet",
+    "GridResult",
     "POINT_MODEL_NAMES",
     "REGION_METHOD_NAMES",
     "ExperimentProfile",
@@ -448,6 +453,215 @@ def run_region_experiment(
     return cross_validate_intervals(builder, X, y, kfold, n_jobs=n_jobs)
 
 
+# ---------------------------------------------------------------------------
+# resilient grid execution
+# ---------------------------------------------------------------------------
+
+GridCell = Tuple[str, float, int]
+GridCVResult = Union[PointCVResult, IntervalCVResult]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One grid cell that failed after every allowed attempt.
+
+    Attributes
+    ----------
+    key:
+        The ``(name, temperature_c, hours)`` cell identity.
+    fingerprint:
+        The journal fingerprint of the cell (resume skips it only once
+        it eventually succeeds and is recorded).
+    error_type, message:
+        Final exception class name and message.
+    attempts:
+        Executions made, retries included.
+    timed_out:
+        Whether the final failure was a watchdog deadline overrun.
+    """
+
+    key: GridCell
+    fingerprint: str
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool
+
+
+class GridResult(Dict[GridCell, GridCVResult]):
+    """Grid results (an ordered cell -> result dict) plus execution metadata.
+
+    A drop-in replacement for the plain dict the grid runners used to
+    return: iteration order is cell order, lookups are unchanged.  On
+    top of that it carries the structured failure list (cells that
+    exhausted their retries -- only ever non-empty with
+    ``on_error="capture"``) and the per-cell attempt counts the stress
+    harness asserts recovery with.
+    """
+
+    def __init__(
+        self,
+        results: Mapping[GridCell, GridCVResult],
+        failures: Sequence[FailureRecord] = (),
+        attempts: Optional[Mapping[GridCell, int]] = None,
+    ) -> None:
+        super().__init__(results)
+        self.failures: Tuple[FailureRecord, ...] = tuple(failures)
+        self.attempts: Dict[GridCell, int] = dict(attempts or {})
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell of the grid completed."""
+        return not self.failures
+
+    @property
+    def n_retried(self) -> int:
+        """Number of cells that needed more than one attempt."""
+        return sum(1 for count in self.attempts.values() if count > 1)
+
+
+def _point_payload(result: PointCVResult) -> Dict[str, Any]:
+    return {
+        "type": "point",
+        "r2_per_fold": list(result.r2_per_fold),
+        "rmse_per_fold": list(result.rmse_per_fold),
+    }
+
+
+def _interval_payload(result: IntervalCVResult) -> Dict[str, Any]:
+    return {
+        "type": "interval",
+        "coverage_per_fold": list(result.coverage_per_fold),
+        "width_per_fold": list(result.width_per_fold),
+    }
+
+
+def _result_from_payload(payload: Mapping[str, Any]) -> GridCVResult:
+    kind = payload.get("type")
+    if kind == "point":
+        return PointCVResult(
+            r2_per_fold=tuple(float(v) for v in payload["r2_per_fold"]),
+            rmse_per_fold=tuple(float(v) for v in payload["rmse_per_fold"]),
+        )
+    if kind == "interval":
+        return IntervalCVResult(
+            coverage_per_fold=tuple(
+                float(v) for v in payload["coverage_per_fold"]
+            ),
+            width_per_fold=tuple(float(v) for v in payload["width_per_fold"]),
+        )
+    raise ValueError(f"unknown journal payload type {kind!r}")
+
+
+def _grid_fingerprints(
+    kind: str,
+    cells: Sequence[GridCell],
+    feature_set: FeatureSet,
+    profile: ExperimentProfile,
+    seed: int,
+    extra: Mapping[str, Any],
+) -> Dict[GridCell, str]:
+    """Stable per-cell fingerprints: config + commit, never timing.
+
+    The git sha (``REPRO_GIT_SHA``, set by CI) is part of the identity:
+    a journal written by one commit is never silently reused by
+    another.
+    """
+    base: Dict[str, Any] = {
+        "schema": 1,
+        "grid": kind,
+        "feature_set": feature_set.value,
+        "profile": asdict(profile),
+        "seed": int(seed),
+        "git_sha": os.environ.get("REPRO_GIT_SHA") or None,
+    }
+    base.update(extra)
+    fingerprints = {}
+    for cell in cells:
+        name, temperature, hours = cell
+        fields = dict(base)
+        fields.update(name=name, temperature=temperature, hours=hours)
+        fingerprints[cell] = cell_fingerprint(fields)
+    return fingerprints
+
+
+def _run_grid(
+    cells: Sequence[GridCell],
+    run_cell: Callable[[GridCell], GridCVResult],
+    fingerprints: Mapping[GridCell, str],
+    to_payload: Callable[[GridCVResult], Dict[str, Any]],
+    journal: Optional[RunJournal],
+    retry_policy: Optional[RetryPolicy],
+    timeout: Optional[float],
+    on_error: str,
+    n_jobs: Optional[int],
+    task_wrapper: Optional[Callable[[Callable], Callable]],
+) -> GridResult:
+    """Shared resilient driver behind both grid runners.
+
+    Completed cells found in ``journal`` are reused (their payloads
+    round-trip floats exactly, so a resumed grid is bit-identical to an
+    uninterrupted one); pending cells fan out through
+    :func:`~repro.perf.parallel.parallel_map_outcomes` and are journaled
+    the moment they succeed -- before any failure can abort the run.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'capture', got {on_error!r}"
+        )
+    results: Dict[GridCell, GridCVResult] = {}
+    pending: List[GridCell] = list(cells)
+    if journal is not None:
+        recorded = journal.completed()
+        pending = []
+        for cell in cells:
+            entry = recorded.get(fingerprints[cell])
+            if entry is not None:
+                results[cell] = _result_from_payload(entry["payload"])
+            else:
+                pending.append(cell)
+    fn = run_cell if task_wrapper is None else task_wrapper(run_cell)
+    if journal is not None:
+        # Record from inside the task, not after the fan-out returns:
+        # a SIGKILL mid-grid must only ever lose cells still in flight.
+        inner, recording_journal = fn, journal
+
+        def fn(cell: GridCell) -> GridCVResult:
+            value = inner(cell)
+            recording_journal.record(
+                fingerprints[cell], list(cell), to_payload(value)
+            )
+            return value
+
+    outcomes = parallel_map_outcomes(
+        fn, pending, n_jobs=n_jobs, retry_policy=retry_policy, timeout=timeout
+    )
+    failures: List[FailureRecord] = []
+    attempts: Dict[GridCell, int] = {}
+    first_error: Optional[BaseException] = None
+    for cell, outcome in zip(pending, outcomes):
+        attempts[cell] = outcome.attempts
+        if outcome.ok:
+            results[cell] = outcome.value
+        else:
+            if first_error is None:
+                first_error = outcome.error
+            failures.append(
+                FailureRecord(
+                    key=cell,
+                    fingerprint=fingerprints[cell],
+                    error_type=type(outcome.error).__name__,
+                    message=str(outcome.error),
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            )
+    if first_error is not None and on_error == "raise":
+        raise first_error
+    ordered = {cell: results[cell] for cell in cells if cell in results}
+    return GridResult(ordered, failures=failures, attempts=attempts)
+
+
 def run_point_grid(
     dataset: SiliconDataset,
     model_names: Sequence[str],
@@ -457,16 +671,33 @@ def run_point_grid(
     profile: Optional[ExperimentProfile] = None,
     seed: int = 0,
     n_jobs: Optional[int] = None,
-) -> Dict[Tuple[str, float, int], PointCVResult]:
+    journal: Optional[RunJournal] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    on_error: str = "raise",
+    task_wrapper: Optional[Callable[[Callable], Callable]] = None,
+) -> GridResult:
     """Fig.-2 grid: every (model, temperature, hours) cell, optionally parallel.
 
     Cells are mutually independent experiments, so the grid is fanned out
-    through :func:`repro.perf.parallel.parallel_map` with the folds inside
-    each cell forced serial (``n_jobs=1``) -- parallelising both levels
-    would oversubscribe the worker pool.  The returned dict is ordered and
-    keyed by ``(model_name, temperature_c, hours)``; every cell value is
-    identical to a serial run of :func:`run_point_experiment`.
+    through :func:`repro.perf.parallel.parallel_map_outcomes` with the
+    folds inside each cell forced serial (``n_jobs=1``) -- parallelising
+    both levels would oversubscribe the worker pool.  The returned
+    :class:`GridResult` is an ordered dict keyed by
+    ``(model_name, temperature_c, hours)``; every cell value is identical
+    to a serial run of :func:`run_point_experiment`.
+
+    Resilience (all optional, see ``docs/RUNTIME.md``): ``journal``
+    checkpoints every completed cell and resumes an interrupted grid
+    bit-identically; ``retry_policy`` re-runs transient worker faults on
+    a deterministic backoff; ``timeout`` bounds each cell (cooperative
+    for threads, hard-kill + requeue for processes);
+    ``on_error="capture"`` returns partial results with structured
+    :class:`FailureRecord` entries instead of raising on the first
+    failed cell.  ``task_wrapper`` is the execution-fault injection seam
+    used by :func:`repro.eval.stress.run_execution_campaign`.
     """
+    profile = profile or ExperimentProfile.full()
     cells = [
         (name, float(temperature), int(hours))
         for name in model_names
@@ -474,7 +705,7 @@ def run_point_grid(
         for hours in read_points
     ]
 
-    def run_cell(cell: Tuple[str, float, int]) -> PointCVResult:
+    def run_cell(cell: GridCell) -> PointCVResult:
         name, temperature, hours = cell
         return run_point_experiment(
             dataset,
@@ -487,8 +718,21 @@ def run_point_grid(
             n_jobs=1,
         )
 
-    results = parallel_map(run_cell, cells, n_jobs=n_jobs)
-    return dict(zip(cells, results))
+    fingerprints = _grid_fingerprints(
+        "point", cells, feature_set, profile, seed, extra={}
+    )
+    return _run_grid(
+        cells,
+        run_cell,
+        fingerprints,
+        _point_payload,
+        journal=journal,
+        retry_policy=retry_policy,
+        timeout=timeout,
+        on_error=on_error,
+        n_jobs=n_jobs,
+        task_wrapper=task_wrapper,
+    )
 
 
 def run_region_grid(
@@ -503,15 +747,23 @@ def run_region_grid(
     profile: Optional[ExperimentProfile] = None,
     seed: int = 0,
     n_jobs: Optional[int] = None,
-) -> Dict[Tuple[str, float, int], IntervalCVResult]:
+    journal: Optional[RunJournal] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    on_error: str = "raise",
+    task_wrapper: Optional[Callable[[Callable], Callable]] = None,
+) -> GridResult:
     """Table-III grid: every (method, temperature, hours) cell, optionally parallel.
 
-    Same contract as :func:`run_point_grid`: independent cells fan out
-    through :func:`repro.perf.parallel.parallel_map` with per-cell folds
-    forced serial, results keyed by ``(method_name, temperature_c, hours)``
-    in cell order, values identical to serial
-    :func:`run_region_experiment` calls.
+    Same contract as :func:`run_point_grid`, including the resilience
+    parameters (journaled resume, deterministic retries, per-cell
+    timeouts, failure capture): independent cells fan out with per-cell
+    folds forced serial, results keyed by
+    ``(method_name, temperature_c, hours)`` in cell order, values
+    identical to serial :func:`run_region_experiment` calls.  ``alpha``
+    is validated by :func:`run_region_experiment` in every cell.
     """
+    profile = profile or ExperimentProfile.full()
     cells = [
         (name, float(temperature), int(hours))
         for name in method_names
@@ -519,7 +771,7 @@ def run_region_grid(
         for hours in read_points
     ]
 
-    def run_cell(cell: Tuple[str, float, int]) -> IntervalCVResult:
+    def run_cell(cell: GridCell) -> IntervalCVResult:
         name, temperature, hours = cell
         return run_region_experiment(
             dataset,
@@ -535,5 +787,27 @@ def run_region_grid(
             n_jobs=1,
         )
 
-    results = parallel_map(run_cell, cells, n_jobs=n_jobs)
-    return dict(zip(cells, results))
+    fingerprints = _grid_fingerprints(
+        "region",
+        cells,
+        feature_set,
+        profile,
+        seed,
+        extra={
+            "alpha": float(alpha),
+            "calibration_fraction": float(calibration_fraction),
+            "cfs_k": int(cfs_k),
+        },
+    )
+    return _run_grid(
+        cells,
+        run_cell,
+        fingerprints,
+        _interval_payload,
+        journal=journal,
+        retry_policy=retry_policy,
+        timeout=timeout,
+        on_error=on_error,
+        n_jobs=n_jobs,
+        task_wrapper=task_wrapper,
+    )

@@ -3,14 +3,19 @@
 The benchmark harness prints the same rows/series the paper reports;
 these helpers keep that formatting in one place.  No plotting backend is
 required -- "figures" are rendered as aligned numeric series, which is
-what a regression harness can diff.
+what a regression harness can diff.  :func:`write_report` persists a
+rendered artefact atomically so the results directory never holds a
+half-written table.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
-__all__ = ["format_series", "format_table"]
+from repro.runtime.artifacts import write_text_atomic
+
+__all__ = ["format_series", "format_table", "write_report"]
 
 
 def format_table(
@@ -74,3 +79,16 @@ def format_series(
         for i, x in enumerate(x_values)
     ]
     return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def write_report(path: Union[str, Path], text: str) -> Path:
+    """Persist one rendered table/series artefact crash-safely.
+
+    A trailing newline is appended when missing, and the write is
+    atomic (temp file + rename) so a killed benchmark run leaves either
+    the previous artefact or the new one -- never a torn file the
+    regression differ would mis-read.  Returns the path.
+    """
+    if not text.endswith("\n"):
+        text += "\n"
+    return write_text_atomic(path, text)

@@ -1,4 +1,4 @@
-"""Stress-test harness: coverage/length degradation under fault campaigns.
+"""Stress-test harness: degradation under data *and* execution faults.
 
 The robustness claim of :mod:`repro.robust` is quantitative: under a
 given fault campaign the served intervals should lose *bounded* coverage
@@ -9,18 +9,35 @@ a fitted :class:`~repro.robust.flow.RobustVminFlow` once clean and once
 per fault scenario, and the resulting :class:`StressReport` tabulates
 coverage, width, status, and inflation per scenario -- the robustness
 analogue of the paper's Table III.
+
+The second campaign mode targets the *execution* layer rather than the
+data: :func:`run_execution_campaign` runs a small experiment grid once
+clean, then once per :class:`~repro.robust.faults.ExecutionFault`
+scenario with workers crashing or hanging mid-grid, and asserts that
+the runtime (:mod:`repro.runtime`: retries, watchdog timeouts, requeue)
+recovers every cell with results bit-identical to the clean run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.eval.experiments import ExperimentProfile, run_point_grid
 from repro.eval.reporting import format_table
+from repro.robust.faults import ExecutionFault, TaskCrashFault, TaskHangFault
+from repro.runtime.retry import RetryPolicy
 
-__all__ = ["StressResult", "StressReport", "run_fault_campaign"]
+__all__ = [
+    "ExecutionStressReport",
+    "ExecutionStressResult",
+    "StressReport",
+    "StressResult",
+    "run_execution_campaign",
+    "run_fault_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -171,3 +188,150 @@ def run_fault_campaign(flow, X: np.ndarray, y: np.ndarray, campaign) -> StressRe
         nominal_width=nominal.mean_width,
         results=tuple(results),
     )
+
+
+# ---------------------------------------------------------------------------
+# execution-fault campaign (crashed / hung workers mid-grid)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionStressResult:
+    """Outcome of one execution-fault scenario over the grid.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario name (e.g. ``worker_crash``).
+    recovered:
+        Every cell completed despite the injected faults.
+    identical:
+        The recovered grid equals the clean grid bit for bit.
+    n_cells, n_retried, n_failures:
+        Grid size, cells that needed more than one attempt, and cells
+        that failed even after retries.
+    """
+
+    scenario: str
+    recovered: bool
+    identical: bool
+    n_cells: int
+    n_retried: int
+    n_failures: int
+
+
+@dataclass(frozen=True)
+class ExecutionStressReport:
+    """Per-scenario recovery results of an execution-fault campaign."""
+
+    results: Tuple[ExecutionStressResult, ...]
+
+    def all_recovered(self) -> bool:
+        """Whether every scenario completed every cell."""
+        return all(r.recovered for r in self.results)
+
+    def all_identical(self) -> bool:
+        """Whether every scenario reproduced the clean grid bit for bit."""
+        return all(r.identical for r in self.results)
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Monospace report table (one row per scenario)."""
+        rows = [
+            [
+                r.scenario,
+                "yes" if r.recovered else "NO",
+                "yes" if r.identical else "NO",
+                r.n_cells,
+                r.n_retried,
+                r.n_failures,
+            ]
+            for r in self.results
+        ]
+        return format_table(
+            ["Scenario", "Recovered", "Identical", "Cells", "Retried", "Failed"],
+            rows,
+            title=title or "Execution-fault campaign report",
+        )
+
+
+def _default_execution_scenarios(
+    seed: int,
+) -> Tuple[Tuple[str, ExecutionFault], ...]:
+    """The standard execution campaign: crashes, repeat crashes, hangs."""
+    return (
+        ("worker_crash", TaskCrashFault(fraction=1.0, n_failures=1, seed=seed)),
+        ("worker_crash_repeat", TaskCrashFault(fraction=0.6, n_failures=2, seed=seed + 1)),
+        ("worker_hang", TaskHangFault(fraction=0.6, n_hangs=1, seed=seed + 2)),
+    )
+
+
+def run_execution_campaign(
+    dataset,
+    model_names: Sequence[str] = ("LR",),
+    temperatures: Sequence[float] = (25.0,),
+    read_points: Sequence[int] = (0,),
+    scenarios: Optional[Sequence[Tuple[str, ExecutionFault]]] = None,
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    n_jobs: Optional[int] = 2,
+    timeout: float = 30.0,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> ExecutionStressReport:
+    """Kill and hang grid workers mid-flight; assert the grid recovers.
+
+    Runs the point grid once clean, then once per execution-fault
+    scenario with the scenario's :meth:`~repro.robust.faults.ExecutionFault.wrap`
+    installed as the grid's ``task_wrapper``.  The faulted runs execute
+    with a retry policy (default: 3 attempts, fast deterministic
+    backoff) and a per-cell ``timeout`` so crashes are retried and
+    hangs are cut short by the cooperative watchdog; ``identical``
+    then records whether retried work reproduced the clean results bit
+    for bit -- the determinism-under-faults contract of
+    ``docs/RUNTIME.md``.
+    """
+    profile = profile or ExperimentProfile.smoke()
+    if scenarios is None:
+        scenarios = _default_execution_scenarios(seed)
+    if retry_policy is None:
+        retry_policy = RetryPolicy(
+            max_attempts=3,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            seed=seed,
+        )
+    clean = run_point_grid(
+        dataset,
+        model_names,
+        temperatures,
+        read_points,
+        profile=profile,
+        seed=seed,
+        n_jobs=n_jobs,
+    )
+    results = []
+    for name, fault in scenarios:
+        faulted = run_point_grid(
+            dataset,
+            model_names,
+            temperatures,
+            read_points,
+            profile=profile,
+            seed=seed,
+            n_jobs=n_jobs,
+            retry_policy=retry_policy,
+            timeout=timeout,
+            on_error="capture",
+            task_wrapper=fault.wrap,
+        )
+        recovered = faulted.ok and set(faulted) == set(clean)
+        results.append(
+            ExecutionStressResult(
+                scenario=name,
+                recovered=recovered,
+                identical=recovered and dict(faulted) == dict(clean),
+                n_cells=len(clean),
+                n_retried=faulted.n_retried,
+                n_failures=len(faulted.failures),
+            )
+        )
+    return ExecutionStressReport(results=tuple(results))

@@ -9,6 +9,9 @@ changing a single number:
   embarrassingly parallel (split-conformal calibration is independent
   per model and per fold), so cross-validation folds, experiment grid
   cells, and the lo/hi quantile pair of a band all fan out through it.
+  :func:`parallel_map_outcomes` is the resilient variant: per-task
+  :class:`TaskOutcome` capture, retry policies, and watchdog timeouts
+  from :mod:`repro.runtime`.
 * :mod:`repro.perf.bench` -- a benchmark recorder that times training
   stages and writes machine-readable JSON baselines
   (``BENCH_training.json``) so performance regressions are diffable
@@ -25,14 +28,22 @@ from repro.perf.bench import (
     regressions,
     time_call,
 )
-from repro.perf.parallel import effective_n_jobs, parallel_map, spawn_seeds
+from repro.perf.parallel import (
+    TaskOutcome,
+    effective_n_jobs,
+    parallel_map,
+    parallel_map_outcomes,
+    spawn_seeds,
+)
 
 __all__ = [
     "BenchRecorder",
     "BenchTiming",
+    "TaskOutcome",
     "effective_n_jobs",
     "load_report",
     "parallel_map",
+    "parallel_map_outcomes",
     "regressions",
     "spawn_seeds",
     "time_call",

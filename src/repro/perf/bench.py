@@ -32,6 +32,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 
+from repro.runtime.artifacts import write_text_atomic
+
 __all__ = [
     "BenchRecorder",
     "BenchTiming",
@@ -161,16 +163,33 @@ class BenchRecorder:
         }
 
     def write(self, path: "str | Path") -> Path:
-        """Serialise the report to ``path`` (parent dirs created)."""
+        """Serialise the report to ``path`` (parent dirs created).
+
+        The write is atomic (temp file + rename via
+        :mod:`repro.runtime.artifacts`): CI artifact uploads never race
+        against a half-written report.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n")
-        return path
+        return write_text_atomic(
+            path, json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n"
+        )
 
 
 def load_report(path: "str | Path") -> Dict[str, Any]:
-    """Load and validate a benchmark JSON report."""
-    data = json.loads(Path(path).read_text())
+    """Load and validate a benchmark JSON report.
+
+    Corrupt or truncated files raise a ``ValueError`` naming the path
+    -- the reader never surfaces a raw ``JSONDecodeError`` from a
+    torn artifact.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"{path} is truncated or corrupt ({error}); benchmark reports "
+            "are written atomically, so this file came from another writer"
+        ) from error
     if not isinstance(data, dict) or "timings" not in data:
         raise ValueError(f"{path} is not a benchmark report (no 'timings' key)")
     version = data.get("schema_version")

@@ -11,6 +11,11 @@ provides the one primitive everything fans out through:
   exceptions propagate to the caller, and the map degrades to a plain
   serial loop when one job is requested, when there is at most one item,
   or when the pool cannot be created (restricted sandboxes).
+* :func:`parallel_map_outcomes` -- the resilient variant: every task is
+  run under an optional :class:`~repro.runtime.retry.RetryPolicy` and
+  timeout, and the return value is one :class:`TaskOutcome` per item --
+  successes *and* failures, in input order -- instead of the first
+  exception discarding every completed sibling.
 * :func:`effective_n_jobs` -- resolves the job count from an explicit
   argument, the ``REPRO_N_JOBS`` environment variable, or the serial
   default, with ``-1`` meaning "all cores".
@@ -18,20 +23,55 @@ provides the one primitive everything fans out through:
   parent seed via :class:`numpy.random.SeedSequence`, so seeded work
   stays reproducible no matter how it is scheduled.
 
+Timeout semantics follow the backend's capabilities (see
+:mod:`repro.runtime.watchdog`): thread workers get a *cooperative*
+deadline (code that calls ``check_deadline`` is interrupted; code that
+never checks is not), while process workers that blow their budget are
+**hard-killed** -- the pool is torn down and the unfinished tasks are
+re-executed serially, each in its own kill-able subprocess, so one
+stuck worker degrades the map to serial re-execution instead of
+hanging or aborting it.
+
 Determinism contract: for a pure ``fn``, ``parallel_map(fn, items, n)``
 returns the same list for every ``n`` -- the test suite asserts this for
-the cross-validation and experiment-grid callers.
+the cross-validation and experiment-grid callers.  Retries and timeouts
+only change *when* work runs, never what it computes.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
-__all__ = ["effective_n_jobs", "parallel_map", "spawn_seeds"]
+from repro.runtime.retry import RetryPolicy, run_attempts
+from repro.runtime.watchdog import TaskTimeout, deadline_scope, run_in_subprocess
+
+__all__ = [
+    "TaskOutcome",
+    "effective_n_jobs",
+    "parallel_map",
+    "parallel_map_outcomes",
+    "spawn_seeds",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -80,8 +120,214 @@ def spawn_seeds(seed: Optional[int], n: int) -> List[Optional[int]]:
     return [int(child.generate_state(1)[0]) for child in children]
 
 
-def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-    return [fn(item) for item in items]
+@dataclass(frozen=True)
+class TaskOutcome(Generic[R]):
+    """Per-task result of :func:`parallel_map_outcomes`.
+
+    Exactly one of ``value`` / ``error`` is meaningful, discriminated by
+    :attr:`ok`.  ``attempts`` counts executions including retries;
+    ``timed_out`` marks failures whose final error was a
+    :class:`~repro.runtime.watchdog.TaskTimeout`.
+    """
+
+    index: int
+    value: Optional[R]
+    error: Optional[BaseException]
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task eventually produced a value."""
+        return self.error is None
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the final failure was a deadline overrun."""
+        return isinstance(self.error, TaskTimeout)
+
+
+def _execute_task(
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    retry_policy: Optional[RetryPolicy],
+    timeout: Optional[float],
+    isolate: bool = False,
+) -> TaskOutcome:
+    """Run one task under deadline + retry, capturing the outcome.
+
+    ``isolate=True`` runs every attempt in a dedicated subprocess with a
+    hard kill (the requeue path of the process backend); otherwise the
+    attempt runs in-process under a cooperative deadline scope.
+    """
+    if isolate:
+        def attempt() -> R:
+            return run_in_subprocess(fn, item, timeout=timeout)
+    else:
+        def attempt() -> R:
+            with deadline_scope(timeout):
+                return fn(item)
+
+    result = run_attempts(attempt, policy=retry_policy, task_key=index)
+    return TaskOutcome(
+        index=index,
+        value=result.value,
+        error=result.error,
+        attempts=result.attempts,
+    )
+
+
+class _ResilientTask:
+    """Picklable per-item worker wrapping retry + cooperative deadline."""
+
+    def __init__(
+        self,
+        fn: Callable[[T], R],
+        retry_policy: Optional[RetryPolicy],
+        timeout: Optional[float],
+    ) -> None:
+        self.fn = fn
+        self.retry_policy = retry_policy
+        self.timeout = timeout
+
+    def __call__(self, indexed: Tuple[int, T]) -> TaskOutcome:
+        """Run one (index, item) pair to a :class:`TaskOutcome`."""
+        index, item = indexed
+        return _execute_task(
+            self.fn, item, index, self.retry_policy, self.timeout
+        )
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill every worker of a process pool (stuck-task watchdog)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+
+
+def _drain_after_failure(
+    futures: Sequence["Future[TaskOutcome]"],
+    outcomes: List[Optional[TaskOutcome]],
+) -> List[int]:
+    """Harvest finished futures after a pool failure; return requeue indices."""
+    requeue: List[int] = []
+    for index, future in enumerate(futures):
+        if outcomes[index] is not None:
+            continue
+        harvested = False
+        if future.done() and not future.cancelled():
+            try:
+                outcomes[index] = future.result(timeout=0)
+                harvested = True
+            except Exception:
+                harvested = False
+        if not harvested:
+            future.cancel()
+            requeue.append(index)
+    return requeue
+
+
+def _pooled_outcomes(
+    fn: Callable[[T], R],
+    work: Sequence[T],
+    jobs: int,
+    backend: str,
+    retry_policy: Optional[RetryPolicy],
+    timeout: Optional[float],
+) -> Optional[List[TaskOutcome]]:
+    """Run the pool path; ``None`` means "fall back to serial".
+
+    Thread backend: purely cooperative timeouts, results drained in
+    order.  Process backend: each future is awaited with the task
+    timeout; a worker that neither finishes nor fails within its budget
+    (or a pool whose process died) gets the pool killed and every
+    unfinished task requeued through the serial subprocess path.
+    """
+    executor_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    task = _ResilientTask(fn, retry_policy, timeout)
+    try:
+        pool = executor_cls(max_workers=min(jobs, len(work)))
+    except (OSError, RuntimeError, PermissionError):
+        # Restricted environments (no spawn semaphores, thread limits):
+        # keep the results identical and just give up the speedup.
+        return None
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(work)
+    requeue: List[int] = []
+    with pool:
+        try:
+            futures = [
+                pool.submit(task, (index, item))
+                for index, item in enumerate(work)
+            ]
+        except (OSError, RuntimeError, BrokenProcessPool):
+            return None
+        wait_timeout = timeout if backend == "process" else None
+        for index, future in enumerate(futures):
+            try:
+                outcomes[index] = future.result(timeout=wait_timeout)
+            except FutureTimeoutError:
+                # Stuck worker: kill the pool, requeue everything that
+                # has not finished.  Serial re-execution (isolated, hard
+                # timeout per attempt) happens below, outside the pool.
+                _kill_pool_processes(pool)
+                requeue = _drain_after_failure(futures, outcomes)
+                break
+            except BrokenProcessPool:
+                # A worker died (crash, OOM-kill): salvage completed
+                # futures, requeue the rest.
+                requeue = _drain_after_failure(futures, outcomes)
+                break
+        pool.shutdown(wait=False)
+    isolate = backend == "process"
+    for index in requeue:
+        outcomes[index] = _execute_task(
+            fn, work[index], index, retry_policy, timeout, isolate=isolate
+        )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def parallel_map_outcomes(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    n_jobs: Optional[int] = None,
+    backend: str = "thread",
+    retry_policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+) -> List[TaskOutcome]:
+    """Resilient ordered map: one :class:`TaskOutcome` per item, no raising.
+
+    The capture-everything primitive underneath :func:`parallel_map` and
+    the experiment grids: a failing task records its final exception in
+    its outcome instead of discarding the completed siblings, retries
+    follow ``retry_policy`` (transient faults only by default, with a
+    deterministic per-task backoff schedule), and ``timeout`` bounds
+    each task as the backend allows -- cooperatively for threads,
+    hard-kill + serial requeue for processes.
+
+    Task-level exceptions never propagate; infrastructure errors in the
+    caller's own arguments (unknown backend, bad job count) still raise.
+    """
+    if backend not in ("thread", "process"):
+        raise ValueError(
+            f"backend must be 'thread' or 'process', got {backend!r}"
+        )
+    if timeout is not None and not timeout > 0.0:
+        raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+    work = list(items)
+    jobs = effective_n_jobs(n_jobs)
+    if jobs > 1 and len(work) > 1:
+        pooled = _pooled_outcomes(
+            fn, work, jobs, backend, retry_policy, timeout
+        )
+        if pooled is not None:
+            return pooled
+    return [
+        _execute_task(fn, item, index, retry_policy, timeout)
+        for index, item in enumerate(work)
+    ]
 
 
 def parallel_map(
@@ -89,6 +335,8 @@ def parallel_map(
     items: Iterable[T],
     n_jobs: Optional[int] = None,
     backend: str = "thread",
+    retry_policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` with ordered results.
 
@@ -107,28 +355,33 @@ def parallel_map(
         (``REPRO_N_JOBS`` or serial).
     backend:
         ``"thread"`` or ``"process"``.
+    retry_policy:
+        Optional :class:`~repro.runtime.retry.RetryPolicy`; transient
+        faults are re-executed on a deterministic backoff schedule
+        before counting as failures.
+    timeout:
+        Optional per-task budget in seconds (cooperative for threads,
+        hard kill + requeue for processes); overruns raise
+        :class:`~repro.runtime.watchdog.TaskTimeout`, which the retry
+        policy may re-run.
 
-    Results are collected in input order.  The first worker exception is
-    re-raised in the caller.  If the pool itself cannot be created the
-    map silently degrades to the serial loop -- same results, no
-    speedup -- so callers never need a fallback path of their own.
+    Results are collected in input order.  When any task ultimately
+    fails, the first failure (in input order) is re-raised in the
+    caller; use :func:`parallel_map_outcomes` to capture per-task
+    failures alongside the completed results instead.  If the pool
+    itself cannot be created the map silently degrades to the serial
+    loop -- same results, no speedup -- so callers never need a
+    fallback path of their own.
     """
-    if backend not in ("thread", "process"):
-        raise ValueError(
-            f"backend must be 'thread' or 'process', got {backend!r}"
-        )
-    work = list(items)
-    jobs = effective_n_jobs(n_jobs)
-    if jobs == 1 or len(work) <= 1:
-        return _serial_map(fn, work)
-    executor_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-    try:
-        pool = executor_cls(max_workers=min(jobs, len(work)))
-    except (OSError, RuntimeError, PermissionError):
-        # Restricted environments (no spawn semaphores, thread limits):
-        # keep the results identical and just give up the speedup.
-        return _serial_map(fn, work)
-    with pool:
-        # list() drains the ordered iterator; the first worker exception
-        # re-raises here, in the caller's frame.
-        return list(pool.map(fn, work))
+    outcomes = parallel_map_outcomes(
+        fn,
+        items,
+        n_jobs=n_jobs,
+        backend=backend,
+        retry_policy=retry_policy,
+        timeout=timeout,
+    )
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    return [outcome.value for outcome in outcomes]

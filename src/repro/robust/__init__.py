@@ -6,8 +6,10 @@ each usable on its own:
 
 * :mod:`repro.robust.faults` -- seeded, composable fault injectors
   (dead/stuck sensors, aging drift, temperature offset, noise bursts,
-  row dropout) and the declarative :class:`FaultCampaign` severity
-  sweep used by the stress harness and CI;
+  row dropout), the declarative :class:`FaultCampaign` severity
+  sweep used by the stress harness and CI, and the *execution*-fault
+  injectors (:class:`TaskCrashFault`, :class:`TaskHangFault`) that
+  crash or hang grid workers to exercise :mod:`repro.runtime`;
 * :mod:`repro.robust.guard` / :mod:`repro.robust.imputation` -- the
   input-sanitization front-end: train-time statistic capture, per-entry
   health masks, bounded median imputation;
@@ -30,12 +32,15 @@ from repro.robust.fallback import (
 from repro.robust.faults import (
     AgingDrift,
     DeadSensors,
+    ExecutionFault,
     FaultCampaign,
     FaultInjector,
     FaultScenario,
     NoiseBurst,
     RowDropout,
     StuckSensors,
+    TaskCrashFault,
+    TaskHangFault,
     TemperatureOffset,
     column_scales,
 )
@@ -52,6 +57,7 @@ __all__ = [
     "DegradationPolicy",
     "DegradationStatus",
     "DegradedPrediction",
+    "ExecutionFault",
     "FaultCampaign",
     "FaultInjector",
     "FaultScenario",
@@ -61,6 +67,8 @@ __all__ = [
     "RobustVminFlow",
     "RowDropout",
     "StuckSensors",
+    "TaskCrashFault",
+    "TaskHangFault",
     "TemperatureOffset",
     "TrainStatImputer",
     "column_scales",

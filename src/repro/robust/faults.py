@@ -17,26 +17,43 @@ output of one injector is a legal input to the next -- and a
 so the same corrupted matrix is reproduced run over run.
 :class:`FaultCampaign` declares a severity sweep over the whole fault
 taxonomy.
+
+Alongside the *data* faults, this module carries the *execution* faults
+targeting the :mod:`repro.runtime` taxonomy: :class:`TaskCrashFault`
+(workers raising :class:`~repro.runtime.retry.TransientFault`) and
+:class:`TaskHangFault` (workers spinning until the cooperative
+watchdog deadline fires).  They wrap the per-cell callable of an
+experiment grid, which is how
+:func:`repro.eval.stress.run_execution_campaign` proves that crashed
+and hung grid cells are recovered via retry/requeue.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.models.base import check_random_state
+from repro.runtime.retry import TransientFault
+from repro.runtime.watchdog import TaskTimeout, check_deadline
 
 __all__ = [
     "AgingDrift",
     "DeadSensors",
+    "ExecutionFault",
     "FaultCampaign",
     "FaultInjector",
     "FaultScenario",
     "NoiseBurst",
     "RowDropout",
     "StuckSensors",
+    "TaskCrashFault",
+    "TaskHangFault",
     "TemperatureOffset",
     "column_scales",
 ]
@@ -363,3 +380,157 @@ class FaultCampaign:
                 for name, injectors in kinds
             )
         return cls(scenarios=tuple(scenarios))
+
+
+# ---------------------------------------------------------------------------
+# execution faults (worker crashes and hangs)
+# ---------------------------------------------------------------------------
+
+
+def _item_draw(item: object, seed: int) -> float:
+    """Stable uniform [0, 1) draw for one work item.
+
+    Derived from the SHA-256 of ``(seed, repr(item))`` rather than from
+    call order, so the *same* tasks are selected regardless of how a
+    thread pool schedules them -- the selection is reproducible across
+    runs, backends, and worker counts.
+    """
+    digest = hashlib.sha256(f"{seed}:{item!r}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class ExecutionFault:
+    """Base class for faults injected into task *execution*, not data.
+
+    Where :class:`FaultInjector` corrupts a feature matrix, an
+    execution fault corrupts the act of running a task: :meth:`wrap`
+    takes the per-item callable of a grid (or any
+    :func:`~repro.perf.parallel.parallel_map` worker) and returns a
+    wrapped callable that misbehaves -- raising transient faults,
+    hanging against the watchdog -- for a deterministic, seeded subset
+    of items, a limited number of times each.  The runtime's retry and
+    timeout machinery is expected to recover; the stress harness
+    asserts that it does, bit for bit.
+    """
+
+    def wrap(
+        self, fn: Callable[[object], object]
+    ) -> Callable[[object], object]:  # pragma: no cover - abstract
+        """Return a misbehaving version of the per-item callable."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description of the fault."""
+        params = ", ".join(
+            f"{k}={v!r}"
+            for k, v in sorted(vars(self).items())
+            if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class _StrikeCounter:
+    """Thread-safe per-item strike budget shared by one wrapped callable."""
+
+    def __init__(self, limit: int) -> None:
+        self._limit = limit
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def strike(self, item: object) -> bool:
+        """Consume one strike for ``item``; False once the budget is spent."""
+        key = repr(item)
+        with self._lock:
+            used = self._counts.get(key, 0)
+            if used >= self._limit:
+                return False
+            self._counts[key] = used + 1
+            return True
+
+
+class TaskCrashFault(ExecutionFault):
+    """Selected tasks raise a transient fault on their first attempts.
+
+    Models a killed/OOM-ed worker or a dropped connection: the task
+    fails with :class:`~repro.runtime.retry.TransientFault` for its
+    first ``n_failures`` attempts and succeeds afterwards, so a
+    :class:`~repro.runtime.retry.RetryPolicy` with enough attempts
+    recovers every cell.  Selection is a seeded, item-stable draw
+    (``fraction`` of tasks, at least the selection threshold applies
+    per item, independent of scheduling order).
+
+    Attempt counting is in-process (a shared thread-safe counter), so
+    this injector is meant for the thread/serial backends the stress
+    harness uses.
+    """
+
+    def __init__(
+        self, fraction: float = 0.5, n_failures: int = 1, seed: int = 0
+    ) -> None:
+        self.fraction = _validate_fraction(fraction, "fraction")
+        if n_failures < 1:
+            raise ValueError(f"n_failures must be >= 1, got {n_failures}")
+        self.n_failures = int(n_failures)
+        self.seed = int(seed)
+
+    def wrap(self, fn: Callable[[object], object]) -> Callable[[object], object]:
+        """Wrap ``fn`` so selected items crash transiently, then recover."""
+        counter = _StrikeCounter(self.n_failures)
+
+        def crashing(item: object) -> object:
+            if _item_draw(item, self.seed) < self.fraction and counter.strike(item):
+                raise TransientFault(
+                    f"injected worker crash for task {item!r}"
+                )
+            return fn(item)
+
+        return crashing
+
+
+class TaskHangFault(ExecutionFault):
+    """Selected tasks hang on their first attempts until the watchdog fires.
+
+    Models a wedged fit: the task spins (cooperatively checking the
+    active deadline) instead of doing its work, so a ``timeout`` on the
+    map converts the hang into a retryable
+    :class:`~repro.runtime.watchdog.TaskTimeout`.  ``max_hang_s``
+    bounds the spin even when no deadline scope is active -- a
+    mis-configured stress run raises instead of deadlocking the suite.
+    """
+
+    def __init__(
+        self,
+        fraction: float = 0.5,
+        n_hangs: int = 1,
+        seed: int = 0,
+        max_hang_s: float = 5.0,
+    ) -> None:
+        self.fraction = _validate_fraction(fraction, "fraction")
+        if n_hangs < 1:
+            raise ValueError(f"n_hangs must be >= 1, got {n_hangs}")
+        if not max_hang_s > 0:
+            raise ValueError(f"max_hang_s must be > 0, got {max_hang_s}")
+        self.n_hangs = int(n_hangs)
+        self.seed = int(seed)
+        self.max_hang_s = float(max_hang_s)
+
+    def wrap(self, fn: Callable[[object], object]) -> Callable[[object], object]:
+        """Wrap ``fn`` so selected items stall until a deadline fires."""
+        counter = _StrikeCounter(self.n_hangs)
+
+        def hanging(item: object) -> object:
+            if _item_draw(item, self.seed) < self.fraction and counter.strike(item):
+                give_up_at = time.monotonic() + self.max_hang_s
+                while time.monotonic() < give_up_at:
+                    check_deadline()  # raises TaskTimeout under a deadline scope
+                    time.sleep(0.005)
+                raise TaskTimeout(
+                    f"injected hang for task {item!r} exceeded max_hang_s="
+                    f"{self.max_hang_s:g} with no watchdog deadline active"
+                )
+            return fn(item)
+
+        return hanging

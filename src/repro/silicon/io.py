@@ -11,23 +11,48 @@ The latent ground truth (process state, defect severities) is
 intentionally **not** serialised: a persisted lot behaves like real
 silicon data — you get measurements, not the hidden truth.  The defect
 mask and true Vmin stay available only on freshly generated datasets.
+
+Both writers are crash-safe: content goes to a temporary file and is
+atomically renamed into place (:mod:`repro.runtime.artifacts`), so an
+interrupted ``save_measurements`` can never leave a truncated archive
+where a reader expects a lot.  On the read side, a truncated, corrupt,
+or field-incomplete archive raises :class:`DatasetSchemaError` naming
+the offending field instead of a raw ``KeyError``/``EOFError`` from
+deep inside numpy.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import zipfile
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from repro.runtime.artifacts import atomic_path, atomic_write
 from repro.silicon.ate import BurnInFlowSimulator
 from repro.silicon.dataset import SiliconDataset
 
-__all__ = ["export_flow_csv", "load_measurements", "save_measurements"]
+__all__ = [
+    "DatasetSchemaError",
+    "export_flow_csv",
+    "load_measurements",
+    "save_measurements",
+]
 
 _FORMAT_VERSION = 1
+
+
+class DatasetSchemaError(ValueError):
+    """A lot archive is unreadable or missing a required field.
+
+    Raised by :func:`load_measurements` with the archive path and, when
+    applicable, the name of the offending field -- the actionable
+    message a test-floor engineer needs instead of a bare ``KeyError``
+    out of ``numpy.lib.npyio``.
+    """
 
 
 def save_measurements(dataset: SiliconDataset, path: Union[str, Path]) -> Path:
@@ -35,7 +60,9 @@ def save_measurements(dataset: SiliconDataset, path: Union[str, Path]) -> Path:
 
     Saved content: parametric matrix + channel metadata, every ROD/CPD
     block, every measured Vmin vector, and the read-point/temperature
-    axes.  Returns the resolved path.
+    axes.  The archive is written atomically (temp file + rename), so a
+    crash mid-save leaves either the previous lot or nothing -- never a
+    torn file.  Returns the resolved path.
     """
     path = Path(path)
     arrays = {
@@ -55,7 +82,10 @@ def save_measurements(dataset: SiliconDataset, path: Union[str, Path]) -> Path:
             arrays[f"vmin_{temperature:g}_{hours}"] = dataset.vmin[
                 (temperature, hours)
             ]
-    np.savez_compressed(path, **arrays)
+    # numpy appends ".npz" when the target has no extension; pin the
+    # temp suffix so the atomic rename lands on the exact name written.
+    with atomic_path(path, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **arrays)
     return path.resolve()
 
 
@@ -74,39 +104,91 @@ class _MeasurementOnlyPopulation:
         )
 
 
+def _read_field(archive, path: Path, name: str) -> np.ndarray:
+    """Read one archive member, translating low-level failures.
+
+    A missing member becomes a :class:`DatasetSchemaError` naming the
+    field; a member whose compressed payload is truncated (the classic
+    crash-mid-write signature of the pre-atomic writer) surfaces the
+    same way instead of as ``EOFError``/``zlib.error`` from inside
+    numpy.
+    """
+    try:
+        return archive[name]
+    except KeyError:
+        raise DatasetSchemaError(
+            f"{path}: lot archive is missing required field {name!r} "
+            f"(format version {_FORMAT_VERSION}); was it written by "
+            "save_measurements?"
+        ) from None
+    except (EOFError, OSError, zipfile.BadZipFile) as error:
+        raise DatasetSchemaError(
+            f"{path}: field {name!r} is truncated or corrupt ({error}); "
+            "the archive was not written atomically or the disk is bad"
+        ) from error
+
+
 def load_measurements(path: Union[str, Path]) -> SiliconDataset:
     """Load a lot previously written by :func:`save_measurements`.
 
     The returned dataset supports every measurement accessor
     (``features``, ``target``, the raw blocks) but has no latent
     population: ``true_vmin`` is empty and ``population`` raises on
-    access.
+    access.  A file that is not a lot archive -- truncated, corrupt, or
+    simply some other ``.npz`` -- raises :class:`DatasetSchemaError`
+    naming the problem (and the missing field, when that is the
+    problem); a missing file still raises ``FileNotFoundError``.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"][0])
+    if not path.exists():
+        raise FileNotFoundError(f"no such lot archive: {path}")
+    try:
+        archive_cm = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        raise DatasetSchemaError(
+            f"{path}: not a readable lot archive ({error}); the file is "
+            "truncated, corrupt, or not an .npz written by save_measurements"
+        ) from error
+    with archive_cm as archive:
+        version = int(_read_field(archive, path, "format_version")[0])
         if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported dataset format version {version}; "
+            raise DatasetSchemaError(
+                f"{path}: unsupported dataset format version {version}; "
                 f"this library reads version {_FORMAT_VERSION}"
             )
-        read_points = tuple(int(h) for h in archive["read_points"])
-        temperatures = tuple(float(t) for t in archive["temperatures"])
-        rod = {hours: archive[f"rod_{hours}"] for hours in read_points}
-        cpd = {hours: archive[f"cpd_{hours}"] for hours in read_points}
+        read_points = tuple(
+            int(h) for h in _read_field(archive, path, "read_points")
+        )
+        temperatures = tuple(
+            float(t) for t in _read_field(archive, path, "temperatures")
+        )
+        rod = {
+            hours: _read_field(archive, path, f"rod_{hours}")
+            for hours in read_points
+        }
+        cpd = {
+            hours: _read_field(archive, path, f"cpd_{hours}")
+            for hours in read_points
+        }
         vmin = {
-            (temperature, hours): archive[f"vmin_{temperature:g}_{hours}"]
+            (temperature, hours): _read_field(
+                archive, path, f"vmin_{temperature:g}_{hours}"
+            )
             for hours in read_points
             for temperature in temperatures
         }
         dataset = SiliconDataset(
-            parametric=archive["parametric"],
-            parametric_names=[str(n) for n in archive["parametric_names"]],
-            parametric_temperatures=archive["parametric_temperatures"],
+            parametric=_read_field(archive, path, "parametric"),
+            parametric_names=[
+                str(n) for n in _read_field(archive, path, "parametric_names")
+            ],
+            parametric_temperatures=_read_field(
+                archive, path, "parametric_temperatures"
+            ),
             rod=rod,
-            rod_names=[str(n) for n in archive["rod_names"]],
+            rod_names=[str(n) for n in _read_field(archive, path, "rod_names")],
             cpd=cpd,
-            cpd_names=[str(n) for n in archive["cpd_names"]],
+            cpd_names=[str(n) for n in _read_field(archive, path, "cpd_names")],
             vmin=vmin,
             true_vmin={},
             population=_MeasurementOnlyPopulation(),  # type: ignore[arg-type]
@@ -126,14 +208,15 @@ def export_flow_csv(
     One row per measurement event (see
     :class:`~repro.silicon.ate.MeasurementRecord`).  The parametric
     insertion is off by default — 1800 channels x n chips dominates the
-    file without adding flow structure.
+    file without adding flow structure.  The CSV is written atomically:
+    an interrupted export leaves no partial log behind.
     """
     path = Path(path)
     simulator = BurnInFlowSimulator(
         dataset, include_parametric=include_parametric
     )
     count = 0
-    with open(path, "w", newline="") as handle:
+    with atomic_write(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             [

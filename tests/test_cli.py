@@ -1,9 +1,12 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.__main__ import main
+from repro.runtime.artifacts import verify_artifact
 
 
 class TestGenerate:
@@ -146,3 +149,114 @@ class TestPredict:
         code = main(["predict", "--dataset", str(path), "--trees", "5"])
         assert code == 2
         assert "too small" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def cli_lot(tmp_path_factory):
+    """A small saved lot shared by the grid CLI tests."""
+    path = tmp_path_factory.mktemp("cli-lot") / "lot.npz"
+    assert main(["generate", str(path), "--chips", "50", "--seed", "7"]) == 0
+    return path
+
+
+def _grid_args(cli_lot, *extra):
+    return [
+        "grid",
+        "--dataset",
+        str(cli_lot),
+        "--names",
+        "LR",
+        "--profile",
+        "smoke",
+        *extra,
+    ]
+
+
+class TestGridCommand:
+    def test_smoke_grid_runs(self, cli_lot, capsys):
+        code = main(_grid_args(cli_lot))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1/1 cells ok" in out and "R2" in out
+
+    def test_region_kind(self, cli_lot, capsys):
+        # alpha=0.5 keeps the tiny smoke folds' calibration sets viable.
+        code = main(
+            _grid_args(
+                cli_lot, "--kind", "region", "--names", "CQR LR", "--alpha", "0.5"
+            )
+        )
+        assert code == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_output_is_verified_json(self, cli_lot, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(_grid_args(cli_lot, "--output", str(out_path)))
+        assert code == 0
+        verify_artifact(out_path)  # sidecar written and digests agree
+        report = json.loads(out_path.read_text())
+        assert report["kind"] == "point" and len(report["cells"]) == 1
+        cell = report["cells"][0]
+        assert cell["name"] == "LR" and len(cell["r2_per_fold"]) == 2
+
+    def test_journal_resume_reproduces_clean_output(
+        self, cli_lot, tmp_path, capsys
+    ):
+        clean_path = tmp_path / "clean.json"
+        assert main(_grid_args(cli_lot, "--output", str(clean_path))) == 0
+
+        journal = tmp_path / "run.jsonl"
+        first_path = tmp_path / "first.json"
+        args = _grid_args(
+            cli_lot, "--journal", str(journal), "--output", str(first_path)
+        )
+        assert main(args) == 0
+        assert journal.exists()
+
+        # Resume over the complete journal: same bytes as the clean run.
+        resumed_path = tmp_path / "resumed.json"
+        resumed_args = _grid_args(
+            cli_lot,
+            "--journal",
+            str(journal),
+            "--resume",
+            "--output",
+            str(resumed_path),
+        )
+        assert main(resumed_args) == 0
+        assert "resuming from" in capsys.readouterr().out
+        assert resumed_path.read_bytes() == clean_path.read_bytes()
+
+    def test_existing_journal_without_resume_is_error(
+        self, cli_lot, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.jsonl"
+        assert main(_grid_args(cli_lot, "--journal", str(journal))) == 0
+        capsys.readouterr()
+        code = main(_grid_args(cli_lot, "--journal", str(journal)))
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_without_journal_is_error(self, cli_lot, capsys):
+        code = main(_grid_args(cli_lot, "--resume"))
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_unknown_name_is_error(self, cli_lot, capsys):
+        code = main(_grid_args(cli_lot, "--names", "NotAModel"))
+        assert code == 2
+        assert "unknown point names" in capsys.readouterr().err
+
+    def test_negative_retries_is_error(self, cli_lot, capsys):
+        code = main(_grid_args(cli_lot, "--max-retries", "-1"))
+        assert code == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_retries_and_timeout_accepted(self, cli_lot, capsys):
+        code = main(
+            _grid_args(
+                cli_lot, "--max-retries", "2", "--task-timeout", "300", "--n-jobs", "1"
+            )
+        )
+        assert code == 0
+        assert "0 retried" in capsys.readouterr().out

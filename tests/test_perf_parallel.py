@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.perf import parallel as parallel_mod
-from repro.perf.parallel import effective_n_jobs, parallel_map, spawn_seeds
+from repro.perf.parallel import (
+    effective_n_jobs,
+    parallel_map,
+    parallel_map_outcomes,
+    spawn_seeds,
+)
+from repro.runtime.retry import PermanentFault, RetryPolicy, TransientFault
+from repro.runtime.watchdog import TaskTimeout, check_deadline
 
 
 # ---------------------------------------------------------------------------
@@ -163,3 +173,135 @@ class TestParallelMap:
 
     def test_empty_items(self):
         assert parallel_map(_square, [], n_jobs=4) == []
+
+    def test_first_failure_in_input_order_raised(self):
+        def two_failures(value):
+            if value == 2:
+                raise KeyError("earlier")
+            if value == 5:
+                raise IndexError("later")
+            return value
+
+        # Task 5 may finish failing before task 2 under a pool; input
+        # order, not completion order, decides which error the caller sees.
+        with pytest.raises(KeyError, match="earlier"):
+            parallel_map(two_failures, range(8), n_jobs=4)
+
+
+# ---------------------------------------------------------------------------
+# parallel_map_outcomes: capture, retries, timeouts
+# ---------------------------------------------------------------------------
+
+class _Flaky:
+    """Thread-safe per-item failure budget, then success."""
+
+    def __init__(self, failing_items, n_failures=1):
+        self.failing = set(failing_items)
+        self.n_failures = n_failures
+        self.counts = {}
+        self.lock = threading.Lock()
+
+    def __call__(self, item):
+        with self.lock:
+            used = self.counts.get(item, 0)
+            if item in self.failing and used < self.n_failures:
+                self.counts[item] = used + 1
+                raise TransientFault(f"blip on {item}")
+        return item * 10
+
+
+def _cooperative_hang(item):
+    if item == 1:
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            check_deadline()
+            time.sleep(0.005)
+    return item
+
+
+def _process_hang(item):  # pragma: no cover - runs in worker processes
+    if item == 1:
+        time.sleep(60)
+    return item * 10
+
+
+class TestParallelMapOutcomes:
+    def test_all_success_matches_parallel_map(self):
+        outcomes = parallel_map_outcomes(_square, range(6), n_jobs=3)
+        assert [o.value for o in outcomes] == [i * i for i in range(6)]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert [o.index for o in outcomes] == list(range(6))
+
+    def test_failures_do_not_discard_siblings(self):
+        def boom_on_two(value):
+            if value == 2:
+                raise ValueError("bad cell")
+            return value
+
+        outcomes = parallel_map_outcomes(boom_on_two, range(5), n_jobs=2)
+        assert [o.ok for o in outcomes] == [True, True, False, True, True]
+        assert isinstance(outcomes[2].error, ValueError)
+        assert [o.value for o in outcomes if o.ok] == [0, 1, 3, 4]
+
+    def test_retry_policy_recovers_transient_faults(self):
+        fn = _Flaky(failing_items={1, 3}, n_failures=2)
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        outcomes = parallel_map_outcomes(fn, range(5), n_jobs=2, retry_policy=policy)
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [i * 10 for i in range(5)]
+        assert [o.attempts for o in outcomes] == [1, 3, 1, 3, 1]
+
+    def test_permanent_fault_not_retried(self):
+        def permanent(value):
+            raise PermanentFault("unfixable")
+
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.0, jitter=0.0)
+        outcomes = parallel_map_outcomes(permanent, [0], retry_policy=policy)
+        assert not outcomes[0].ok and outcomes[0].attempts == 1
+
+    def test_retried_results_identical_to_clean_run(self):
+        clean = parallel_map_outcomes(_square, range(6), n_jobs=2)
+        flaky = _Flaky(failing_items={0, 2, 4}, n_failures=1)
+
+        def flaky_square(item):
+            flaky(item)  # raises on the first attempt for selected items
+            return item * item
+
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        retried = parallel_map_outcomes(
+            flaky_square, range(6), n_jobs=2, retry_policy=policy
+        )
+        assert [o.value for o in retried] == [o.value for o in clean]
+
+    def test_cooperative_timeout_threads(self):
+        outcomes = parallel_map_outcomes(
+            _cooperative_hang, range(3), n_jobs=2, timeout=0.2
+        )
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok and outcomes[1].timed_out
+        assert isinstance(outcomes[1].error, TaskTimeout)
+
+    def test_cooperative_timeout_serial(self):
+        outcomes = parallel_map_outcomes(
+            _cooperative_hang, range(3), n_jobs=1, timeout=0.2
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+
+    def test_stuck_process_worker_killed_and_requeued(self):
+        start = time.monotonic()
+        outcomes = parallel_map_outcomes(
+            _process_hang, range(4), n_jobs=2, backend="process", timeout=1.0
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # the 60 s hang was cut short
+        assert not outcomes[1].ok and outcomes[1].timed_out
+        good = [o for i, o in enumerate(outcomes) if i != 1]
+        assert all(o.ok for o in good)
+        assert [o.value for o in good] == [0, 20, 30]
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            parallel_map_outcomes(_square, range(3), timeout=0.0)
+
+    def test_empty_items(self):
+        assert parallel_map_outcomes(_square, [], n_jobs=4) == []

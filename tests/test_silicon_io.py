@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.silicon import SiliconDataset
-from repro.silicon.io import export_flow_csv, load_measurements, save_measurements
+from repro.silicon.io import (
+    DatasetSchemaError,
+    export_flow_csv,
+    load_measurements,
+    save_measurements,
+)
 
 
 class TestRoundTrip:
@@ -48,8 +53,58 @@ class TestRoundTrip:
             arrays = {name: archive[name] for name in archive.files}
         arrays["format_version"] = np.array([99])
         np.savez_compressed(tmp_path / "bad.npz", **arrays)
-        with pytest.raises(ValueError, match="format version"):
+        with pytest.raises(DatasetSchemaError, match="format version"):
             load_measurements(tmp_path / "bad.npz")
+
+
+class TestAtomicityAndSchemaErrors:
+    def test_no_temp_files_left_behind(self, small_lot, tmp_path):
+        save_measurements(small_lot, tmp_path / "lot.npz")
+        export_flow_csv(small_lot, tmp_path / "flow.csv")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["flow.csv", "lot.npz"]
+
+    def test_save_failure_preserves_previous_archive(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        before = path.read_bytes()
+
+        broken = SiliconDataset.generate(n_chips=10, seed=0)
+        broken.read_points = (0, 24, 77777)  # hours with no recorded block
+        with pytest.raises(KeyError):
+            save_measurements(broken, path)
+        assert path.read_bytes() == before  # old lot untouched
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such lot"):
+            load_measurements(tmp_path / "absent.npz")
+
+    def test_non_archive_is_schema_error(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_text("this is not a zip archive")
+        with pytest.raises(DatasetSchemaError, match="not a readable lot"):
+            load_measurements(bogus)
+
+    def test_truncated_archive_is_schema_error(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        content = path.read_bytes()
+        truncated = tmp_path / "torn.npz"
+        truncated.write_bytes(content[: len(content) // 2])
+        with pytest.raises(DatasetSchemaError):
+            load_measurements(truncated)
+
+    def test_missing_field_names_the_field(self, small_lot, tmp_path):
+        path = save_measurements(small_lot, tmp_path / "lot.npz")
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        del arrays["rod_names"]
+        np.savez_compressed(tmp_path / "partial.npz", **arrays)
+        with pytest.raises(DatasetSchemaError, match="'rod_names'"):
+            load_measurements(tmp_path / "partial.npz")
+
+    def test_some_other_npz_is_schema_error(self, tmp_path):
+        np.savez_compressed(tmp_path / "other.npz", weights=np.ones(3))
+        with pytest.raises(DatasetSchemaError, match="format_version"):
+            load_measurements(tmp_path / "other.npz")
 
 
 class TestCSVExport:
