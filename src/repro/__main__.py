@@ -10,7 +10,10 @@ Four commands cover the non-programmatic workflows:
 * ``grid`` -- run a point/region experiment grid with the resilient
   runtime: journaled checkpoint/``--resume``, deterministic
   ``--max-retries``, per-cell ``--task-timeout``, and atomic
-  ``--output`` JSON with a checksum sidecar.
+  ``--output`` JSON with a checksum sidecar,
+* ``analyze`` -- whole-program static analysis (concurrency/determinism
+  races, conformal calibration hygiene); delegated to
+  :mod:`repro.devtools.analysis.cli` with its own options.
 
 The CLI exists so a test-floor engineer can produce and inspect data
 without writing Python; everything it does is a thin shim over the
@@ -20,6 +23,7 @@ public API.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import zipfile
 from typing import Any, Dict, List, Optional
@@ -293,6 +297,13 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis stack is only needed for this command.
+    from repro.devtools.analysis.cli import main as analyze_main
+
+    return analyze_main(list(args.rest))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the three-command argument parser (generate/info/predict)."""
     parser = argparse.ArgumentParser(
@@ -383,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write grid results JSON atomically, with a .sha256 sidecar",
     )
     grid.set_defaults(handler=_cmd_grid)
+
+    # ``analyze`` is delegated wholesale to the analysis CLI (it owns a
+    # richer option set); this stub keeps it visible in --help.
+    analyze = commands.add_parser(
+        "analyze",
+        help="whole-program static analysis (REP2xx/REP3xx deep pass)",
+        add_help=False,
+    )
+    analyze.add_argument("rest", nargs=argparse.REMAINDER)
+    analyze.set_defaults(handler=_cmd_analyze)
     return parser
 
 
@@ -398,13 +419,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     lot archive, an invalid parameter that slipped past argparse -- are
     reported as one ``error:`` line on stderr, never a traceback.
     """
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "analyze":
+        # Delegated before argparse: the analysis CLI owns its options
+        # (argparse.REMAINDER would swallow leading flags otherwise).
+        return _cmd_analyze(
+            argparse.Namespace(rest=arguments[1:])
+        )
     try:
-        args = build_parser().parse_args(argv)
+        args = build_parser().parse_args(arguments)
     except SystemExit as exit_request:  # argparse already printed the message
         code = exit_request.code
         return code if isinstance(code, int) else 2
     try:
         return args.handler(args)
+    except BrokenPipeError:
+        # The consumer closed stdout early (``... | head``); silence the
+        # exit-time flush and use the conventional 128 + SIGPIPE code.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
     except (ValueError, OSError, zipfile.BadZipFile) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

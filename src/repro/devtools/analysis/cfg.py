@@ -1,0 +1,187 @@
+"""Per-function control-flow graphs for the data-flow framework.
+
+The CFG is statement-granular: every basic block holds a run of
+statements with no internal branching, and compound statements appear
+as *header* statements in their own right (an ``if`` header evaluates
+its test; a ``for`` header evaluates its iterable and binds its
+target).  Transfer functions therefore never recurse into compound
+bodies -- the bodies are separate blocks wired with explicit edges,
+back edges included, which is exactly what a worklist fixpoint needs
+for loops.
+
+The graph deliberately over-approximates exceptional control flow
+(``try`` bodies may jump to any handler; ``finally`` joins everything):
+for may-analyses such as reaching definitions and taint, extra edges
+can only add facts, never hide them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+
+class BasicBlock:
+    """A straight-line run of statements plus successor edges."""
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.statements: List[ast.stmt] = []
+        self.successors: List["BasicBlock"] = []
+
+    def link(self, other: "BasicBlock") -> None:
+        if other not in self.successors:
+            self.successors.append(other)
+
+    def __repr__(self) -> str:
+        succ = [b.id for b in self.successors]
+        return f"BasicBlock(id={self.id}, stmts={len(self.statements)}, succ={succ})"
+
+
+class ControlFlowGraph:
+    """All blocks of one function body, entry first."""
+
+    def __init__(self, blocks: List[BasicBlock], entry: BasicBlock) -> None:
+        self.blocks = blocks
+        self.entry = entry
+
+    def predecessors(self, block: BasicBlock) -> List[BasicBlock]:
+        return [b for b in self.blocks if block in b.successors]
+
+    def statements(self) -> List[Tuple[BasicBlock, ast.stmt]]:
+        """Every (block, statement) pair in block order."""
+        return [(b, s) for b in self.blocks for s in b.statements]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        # (continue_target, break_target) per enclosing loop.
+        self.loops: List[Tuple[BasicBlock, BasicBlock]] = []
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build_body(
+        self, stmts: List[ast.stmt], current: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Thread ``stmts`` from ``current``; ``None`` means fell off."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after return/raise/break: still build
+                # it (rules may inspect it) but leave it unlinked.
+                current = self.new_block()
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def build_stmt(
+        self, stmt: ast.stmt, current: BasicBlock
+    ) -> Optional[BasicBlock]:
+        if isinstance(stmt, ast.If):
+            current.statements.append(stmt)
+            after = self.new_block()
+            then_entry = self.new_block()
+            current.link(then_entry)
+            then_end = self.build_body(stmt.body, then_entry)
+            if then_end is not None:
+                then_end.link(after)
+            if stmt.orelse:
+                else_entry = self.new_block()
+                current.link(else_entry)
+                else_end = self.build_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    else_end.link(after)
+            else:
+                current.link(after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self.new_block()
+            current.link(header)
+            header.statements.append(stmt)
+            after = self.new_block()
+            body_entry = self.new_block()
+            header.link(body_entry)
+            header.link(after)  # zero iterations / loop exit
+            self.loops.append((header, after))
+            body_end = self.build_body(stmt.body, body_entry)
+            self.loops.pop()
+            if body_end is not None:
+                body_end.link(header)  # back edge
+            if stmt.orelse:
+                else_entry = self.new_block()
+                header.link(else_entry)
+                else_end = self.build_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    else_end.link(after)
+            return after
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            after = self.new_block()
+            body_entry = self.new_block()
+            current.link(body_entry)
+            body_end = self.build_body(stmt.body, body_entry)
+            handler_ends: List[Optional[BasicBlock]] = []
+            for handler in stmt.handlers:
+                handler_entry = self.new_block()
+                # Any point of the body may raise: both the entry and
+                # the end of the body reach each handler.
+                body_entry.link(handler_entry)
+                if body_end is not None:
+                    body_end.link(handler_entry)
+                handler_ends.append(self.build_body(handler.body, handler_entry))
+            tail_ends: List[BasicBlock] = [
+                end for end in handler_ends if end is not None
+            ]
+            if stmt.orelse:
+                else_entry = self.new_block()
+                if body_end is not None:
+                    body_end.link(else_entry)
+                else_end = self.build_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    tail_ends.append(else_end)
+            elif body_end is not None:
+                tail_ends.append(body_end)
+            if stmt.finalbody:
+                final_entry = self.new_block()
+                for end in tail_ends:
+                    end.link(final_entry)
+                if not tail_ends:
+                    body_entry.link(final_entry)
+                final_end = self.build_body(stmt.finalbody, final_entry)
+                if final_end is not None:
+                    final_end.link(after)
+            else:
+                for end in tail_ends:
+                    end.link(after)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # Context managers run their body unconditionally here; the
+            # header statement binds the ``as`` names.
+            current.statements.append(stmt)
+            return self.build_body(stmt.body, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.statements.append(stmt)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.statements.append(stmt)
+            if self.loops:
+                current.link(self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.statements.append(stmt)
+            if self.loops:
+                current.link(self.loops[-1][0])
+            return None
+        current.statements.append(stmt)
+        return current
+
+
+def build_cfg(body: List[ast.stmt]) -> ControlFlowGraph:
+    """Build the control-flow graph of one function (or module) body."""
+    builder = _Builder()
+    entry = builder.new_block()
+    builder.build_body(body, entry)
+    return ControlFlowGraph(builder.blocks, entry)

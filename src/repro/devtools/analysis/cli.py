@@ -1,0 +1,259 @@
+"""``python -m repro analyze`` -- the whole-program analysis CLI.
+
+Usage::
+
+    python -m repro analyze src                     # deep pass, text report
+    python -m repro analyze --format sarif src      # SARIF 2.1.0 to stdout
+    python -m repro analyze --sarif-output out.sarif src   # report + artifact
+    python -m repro analyze --write-baseline src    # accept current findings
+    python -m repro analyze --list-rules            # the REP2xx/REP3xx packs
+
+Exit codes are stable for CI wiring and match reprolint:
+
+* ``0`` -- no unbaselined findings and no engine errors,
+* ``1`` -- at least one new (unbaselined, unsuppressed) finding,
+* ``2`` -- engine error: unreadable/unparseable file, bad config, bad
+  baseline, usage error.  A deep pass that could not see the whole
+  program refuses to certify it clean.
+
+Configuration comes from ``[tool.reprolint.analysis]`` in the nearest
+``pyproject.toml`` (see :mod:`repro.devtools.config`); ``--baseline``
+overrides the configured baseline path, ``--no-baseline`` ignores it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.analysis.baseline import (
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.analysis.engine import analyze_paths
+from repro.devtools.analysis.rules import ALL_ANALYSIS_RULES, get_analysis_rule
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.diagnostics import PARSE_ERROR_ID, Diagnostic
+from repro.devtools.reporters import render_json, render_sarif, render_text
+
+__all__ = ["build_parser", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description=(
+            "whole-program flow analysis: concurrency-determinism races "
+            "(REP2xx) and conformal calibration hygiene (REP3xx)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (e.g. 'src')",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-output",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--enable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these analysis rules (id or name; repeatable)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="switch these analysis rules off (id or name; repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted findings (overrides config)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any configured baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every analysis rule with its rationale and exit",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.reprolint] / [tool.reprolint.analysis] config",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for rule in ALL_ANALYSIS_RULES:
+        lines.append(f"{rule.rule_id}  {rule.name}")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    why: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    else:
+        anchor = args.paths[0] if args.paths else None
+        config = load_config(anchor)
+    for identifier in (*args.enable, *args.disable):
+        if get_analysis_rule(identifier) is None and not any(
+            rule.name == identifier for rule in ALL_ANALYSIS_RULES
+        ):
+            raise KeyError(f"unknown analysis rule: {identifier}")
+    analysis = config.analysis
+    if args.enable:
+        analysis = replace(
+            analysis, enable=frozenset(args.enable), disable=frozenset()
+        )
+    if args.disable:
+        analysis = replace(
+            analysis, disable=analysis.disable | frozenset(args.disable)
+        )
+    return replace(config, analysis=analysis)
+
+
+def _error_diagnostics(result_errors) -> List[Diagnostic]:
+    """Engine errors rendered in the same shape as findings."""
+    return [
+        Diagnostic(
+            path=error.path,
+            line=error.line,
+            column=0,
+            rule_id=PARSE_ERROR_ID,
+            rule_name="engine-error",
+            message=error.message,
+        )
+        for error in result_errors
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # The consumer closed stdout early (``... | head``); that is not
+        # an engine failure and must not traceback.  Point stdout at
+        # /dev/null so the interpreter's exit-time flush stays quiet,
+        # and exit with the conventional 128 + SIGPIPE code.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try 'src')", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        config = _resolve_config(args)
+        result = analyze_paths(args.paths, config=config)
+        baseline_path = args.baseline or config.analysis.baseline
+        if args.no_baseline:
+            baseline_path = None
+        if args.write_baseline:
+            if baseline_path is None:
+                raise ValueError(
+                    "--write-baseline needs --baseline FILE or a configured "
+                    "[tool.reprolint.analysis] baseline"
+                )
+            write_baseline(baseline_path, result.diagnostics)
+            print(
+                f"wrote {len(result.diagnostics)} finding(s) to {baseline_path}"
+            )
+            return EXIT_ERROR if result.errors else EXIT_CLEAN
+        if baseline_path is not None and Path(baseline_path).is_file():
+            baseline = load_baseline(baseline_path)
+        else:
+            baseline = Baseline()
+        new, baselined = baseline.filter(result.diagnostics)
+    except (KeyError, ValueError, OSError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for note in config.notes:
+        print(f"note: {note}", file=sys.stderr)
+    stale = baseline.unused_entries(result.diagnostics)
+    for path, rule_id, _ in stale:
+        print(
+            f"note: stale baseline entry {rule_id} for {path} "
+            "(finding no longer present)",
+            file=sys.stderr,
+        )
+    if baselined:
+        print(
+            f"note: {len(baselined)} baselined finding(s) suppressed",
+            file=sys.stderr,
+        )
+
+    reported = _error_diagnostics(result.errors) + new
+    reported.sort(key=Diagnostic.sort_key)
+    if args.sarif_output:
+        Path(args.sarif_output).write_text(
+            render_sarif(
+                reported, tool_name="reprolint-analysis", rules=ALL_ANALYSIS_RULES
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+    if args.format == "sarif":
+        print(
+            render_sarif(
+                reported, tool_name="reprolint-analysis", rules=ALL_ANALYSIS_RULES
+            )
+        )
+    elif args.format == "json":
+        print(render_json(reported, checked_files=result.checked_files))
+    else:
+        print(render_text(reported, checked_files=result.checked_files))
+
+    if result.errors:
+        return EXIT_ERROR
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""The analysis engine: project loading, rule dispatch, suppression.
+
+The deep-pass counterpart of :class:`repro.devtools.engine.LintEngine`.
+One run parses every file into a :class:`Project`, hands the shared
+:class:`ProjectContext` (cached CFGs, call graph) to each enabled
+REP2xx/REP3xx rule, then applies the same ``# reprolint:
+disable=RULE`` inline suppressions the per-file linter honours.
+
+Files that fail to parse never crash the pass: they surface as
+:class:`EngineError` records on the result, which the CLI reports as
+``REP000`` engine diagnostics with exit code 2 (an analysis that could
+not see the whole program must not pretend the program is clean).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Type
+
+from repro.devtools.analysis.project import EngineError, Project
+from repro.devtools.analysis.rules import (
+    ALL_ANALYSIS_RULES,
+    AnalysisRule,
+    ProjectContext,
+)
+from repro.devtools.config import LintConfig
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.engine import collect_files
+
+__all__ = ["AnalysisEngine", "AnalysisResult", "analyze_paths"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one whole-program pass produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    errors: List[EngineError] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No findings and no engine errors."""
+        return not self.diagnostics and not self.errors
+
+
+class AnalysisEngine:
+    """Run whole-program rules over a set of files."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Type[AnalysisRule]]] = None,
+        config: Optional[LintConfig] = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        selected = list(rules) if rules is not None else list(ALL_ANALYSIS_RULES)
+        self.rules: List[AnalysisRule] = [
+            rule() if isinstance(rule, type) else rule
+            for rule in selected
+            if self.config.analysis.rule_enabled(
+                getattr(rule, "rule_id", ""), getattr(rule, "name", "")
+            )
+        ]
+
+    def analyze_files(self, files: Sequence[str]) -> AnalysisResult:
+        """Parse ``files`` into one project and run every enabled rule."""
+        project = Project.load(files)
+        context = ProjectContext(project)
+        findings: List[Diagnostic] = []
+        for rule in self.rules:
+            findings.extend(rule.check(context))
+        findings = [d for d in findings if not self._suppressed(project, d)]
+        return AnalysisResult(
+            diagnostics=sorted(set(findings), key=Diagnostic.sort_key),
+            errors=sorted(project.errors, key=lambda e: (e.path, e.line)),
+            checked_files=len(files),
+        )
+
+    def _suppressed(self, project: Project, diagnostic: Diagnostic) -> bool:
+        module = project.by_path.get(diagnostic.path)
+        if module is None:
+            return False
+        active = module.suppressions.get(diagnostic.line)
+        if not active:
+            return False
+        return bool({"all", diagnostic.rule_id, diagnostic.rule_name} & active)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Type[AnalysisRule]]] = None,
+) -> AnalysisResult:
+    """Collect files and analyze them; the programmatic entry point.
+
+    The analysis-specific ``exclude`` globs stack on top of the base
+    linter excludes, so fixture trees full of deliberately-bad code can
+    be kept out of the deep pass without loosening the linter.
+    """
+    config = config or LintConfig()
+    files = collect_files(paths, config)
+    extra = config.analysis.exclude
+    if extra:
+        files = [
+            f
+            for f in files
+            if not any(
+                fnmatch.fnmatch(candidate, pattern)
+                for candidate in (f, Path(f).as_posix())
+                for pattern in extra
+            )
+        ]
+    engine = AnalysisEngine(rules=rules, config=config)
+    return engine.analyze_files(files)

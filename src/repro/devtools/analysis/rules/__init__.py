@@ -1,0 +1,42 @@
+"""Whole-program analysis rule registry (REP2xx + REP3xx)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.devtools.analysis.rules.base import AnalysisRule, ProjectContext
+from repro.devtools.analysis.rules.concurrency import (
+    ClosureCaptureRule,
+    TaskRngRule,
+    UnorderedIterationRule,
+    WallClockFingerprintRule,
+)
+from repro.devtools.analysis.rules.conformal import (
+    CalibrationLeakRule,
+    RefitAfterCalibrateRule,
+)
+
+__all__ = [
+    "ALL_ANALYSIS_RULES",
+    "AnalysisRule",
+    "ProjectContext",
+    "get_analysis_rule",
+]
+
+ALL_ANALYSIS_RULES: List[Type[AnalysisRule]] = [
+    ClosureCaptureRule,
+    TaskRngRule,
+    UnorderedIterationRule,
+    WallClockFingerprintRule,
+    CalibrationLeakRule,
+    RefitAfterCalibrateRule,
+]
+
+_BY_ID: Dict[str, Type[AnalysisRule]] = {
+    rule.rule_id: rule for rule in ALL_ANALYSIS_RULES
+}
+
+
+def get_analysis_rule(rule_id: str) -> Optional[Type[AnalysisRule]]:
+    """Look up an analysis rule class by its ``REPnnn`` identifier."""
+    return _BY_ID.get(rule_id)

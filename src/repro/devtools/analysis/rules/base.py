@@ -1,0 +1,78 @@
+"""Analysis rule protocol: whole-program checks over a project context.
+
+Unlike syntactic lint rules (one module at a time, one shared AST
+walk), an analysis rule sees the *whole project* -- every parsed
+module, the function table, lazily built per-function CFGs, and the
+call graph -- and returns its complete finding list in one call.
+Suppressions, config filtering, and baselines are applied by the
+analysis engine afterwards, so rules only decide what is a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.devtools.analysis.callgraph import CallGraph, build_call_graph
+from repro.devtools.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.devtools.analysis.project import FunctionInfo, ModuleInfo, Project
+from repro.devtools.diagnostics import Diagnostic
+
+__all__ = ["AnalysisRule", "ProjectContext"]
+
+
+class ProjectContext:
+    """Shared lookups for one analysis run (CFGs and call graph cached)."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self._callgraph: Optional[CallGraph] = None
+        self._cfgs: Dict[str, ControlFlowGraph] = {}
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = build_call_graph(self.project)
+        return self._callgraph
+
+    def cfg(self, qualname: str) -> ControlFlowGraph:
+        """The (cached) CFG of a registered function."""
+        if qualname not in self._cfgs:
+            node = self.project.functions[qualname].node
+            body = node.body if not isinstance(node, ast.Lambda) else [
+                ast.Expr(value=node.body)
+            ]
+            self._cfgs[qualname] = build_cfg(body)
+        return self._cfgs[qualname]
+
+    def functions(self) -> Iterable[FunctionInfo]:
+        return self.project.functions.values()
+
+    def module_of(self, function: FunctionInfo) -> Optional[ModuleInfo]:
+        return self.project.modules.get(function.module)
+
+
+class AnalysisRule:
+    """Base class for whole-program (REP2xx/REP3xx) rules."""
+
+    rule_id: str = "REP999"
+    name: str = "abstract-analysis-rule"
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, context: ProjectContext) -> List[Diagnostic]:
+        """Return every finding of this rule across the project."""
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Build a finding pinned to ``node`` in ``module``."""
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            message=message,
+        )

@@ -10,8 +10,11 @@ Usage::
 Exit codes are stable for CI wiring:
 
 * ``0`` -- no findings,
-* ``1`` -- at least one finding (including unparseable files),
-* ``2`` -- usage or I/O error (unknown rule, missing path).
+* ``1`` -- at least one finding,
+* ``2`` -- engine error: usage or I/O error (unknown rule, missing
+  path), malformed config, or a file the engine could not parse
+  (``REP000``) -- a linter that could not read the code must not
+  report it merely "dirty", let alone clean.
 
 Configuration is read from the nearest ``pyproject.toml``'s
 ``[tool.reprolint]`` table unless ``--no-config`` is given; command
@@ -21,13 +24,17 @@ line ``--enable``/``--disable`` are applied on top of it.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from pathlib import Path
+
 from repro.devtools.config import LintConfig, load_config
+from repro.devtools.diagnostics import PARSE_ERROR_ID
 from repro.devtools.engine import LintEngine, collect_files
-from repro.devtools.reporters import render_json, render_text
+from repro.devtools.reporters import render_json, render_sarif, render_text
 from repro.devtools.rules import ALL_RULES, get_rule
 
 __all__ = ["build_parser", "main"]
@@ -53,9 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-output",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE",
     )
     parser.add_argument(
         "--enable",
@@ -112,6 +124,18 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # The consumer closed stdout early (``... | head``); that is not
+        # an engine failure and must not traceback.  Point stdout at
+        # /dev/null so the interpreter's exit-time flush stays quiet,
+        # and exit with the conventional 128 + SIGPIPE code.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -135,10 +159,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for note in config.notes:
         print(f"note: {note}", file=sys.stderr)
-    if args.format == "json":
+    if args.sarif_output:
+        Path(args.sarif_output).write_text(
+            render_sarif(diagnostics, tool_name="reprolint", rules=ALL_RULES)
+            + "\n",
+            encoding="utf-8",
+        )
+    if args.format == "sarif":
+        print(render_sarif(diagnostics, tool_name="reprolint", rules=ALL_RULES))
+    elif args.format == "json":
         print(render_json(diagnostics, checked_files=len(files)))
     else:
         print(render_text(diagnostics, checked_files=len(files)))
+    # A file the engine could not parse is an engine failure, not a
+    # finding: the rest of that file went unchecked.
+    if any(d.rule_id == PARSE_ERROR_ID for d in diagnostics):
+        return EXIT_ERROR
     return EXIT_FINDINGS if diagnostics else EXIT_CLEAN
 
 

@@ -8,11 +8,12 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.devtools.diagnostics import Diagnostic
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 
 def render_text(diagnostics: Sequence[Diagnostic], checked_files: int = 0) -> str:
@@ -47,5 +48,75 @@ def render_json(diagnostics: Sequence[Diagnostic], checked_files: int = 0) -> st
             "by_rule": dict(sorted(by_rule.items())),
         },
         "diagnostics": [d.as_dict() for d in diagnostics],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    tool_name: str = "reprolint",
+    rules: Optional[Iterable[Any]] = None,
+) -> str:
+    """SARIF 2.1.0 document -- one run, one result per finding.
+
+    ``rules`` is any iterable of objects exposing ``rule_id``, ``name``,
+    ``summary`` and ``rationale`` (both lint and analysis rule classes
+    qualify); they populate the driver's rule metadata so SARIF viewers
+    can show the rationale next to each finding.
+    """
+    rule_entries: List[Dict[str, Any]] = []
+    indexed: Dict[str, int] = {}
+    for rule in rules or ():
+        rule_id = getattr(rule, "rule_id", "")
+        if not rule_id or rule_id in indexed:
+            continue
+        indexed[rule_id] = len(rule_entries)
+        rule_entries.append(
+            {
+                "id": rule_id,
+                "name": getattr(rule, "name", rule_id),
+                "shortDescription": {"text": getattr(rule, "summary", "")},
+                "fullDescription": {"text": getattr(rule, "rationale", "")},
+                "defaultConfiguration": {"level": "warning"},
+            }
+        )
+    results: List[Dict[str, Any]] = []
+    for diagnostic in diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.rule_id,
+            "level": "warning",
+            "message": {"text": f"[{diagnostic.rule_name}] {diagnostic.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(diagnostic.path).as_posix()
+                        },
+                        "region": {
+                            "startLine": max(diagnostic.line, 1),
+                            # SARIF columns are 1-based; ours are 0-based.
+                            "startColumn": diagnostic.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if diagnostic.rule_id in indexed:
+            result["ruleIndex"] = indexed[diagnostic.rule_id]
+        results.append(result)
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)

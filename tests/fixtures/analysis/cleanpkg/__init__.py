@@ -1,0 +1,6 @@
+"""Precision fixture: near-misses the analyzer must NOT flag.
+
+Every pattern here is a deliberate look-alike of a REP2xx/REP3xx
+violation that is actually safe; the engine tests assert zero findings
+for this package, so any false positive becomes a failing test.
+"""

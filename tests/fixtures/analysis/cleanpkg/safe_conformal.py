@@ -1,0 +1,26 @@
+"""Safe conformal patterns that shape-match REP301/REP302."""
+
+
+def proper_split_cp(model, X, y, split_train_calibration, rng):
+    """The textbook split-CP flow: fit on train, calibrate on cal."""
+    train_idx, cal_idx = split_train_calibration(len(y), 0.25, rng)
+    model.fit(X[train_idx], y[train_idx])  # train rows only: fine
+    X_cal = X[cal_idx]
+    y_cal = y[cal_idx]
+    model.calibrate(X_cal, y_cal)  # calibrate() is the intended consumer
+    return model
+
+
+def scores_into_quantile(model, y_cal, conformal_quantile, alpha):
+    """Calibration scores feeding quantile math, not fitting."""
+    scores = [abs(value) for value in y_cal]
+    model.calibration_scores_ = scores
+    return conformal_quantile(scores, alpha)
+
+
+def refit_then_recalibrate(model, X_new, y_new):
+    """Refitting is fine when recalibration follows."""
+    model.calibrate(X_new, y_new)
+    model.fit(X_new, y_new)
+    model.calibrate(X_new, y_new)  # recalibrated: scores are fresh again
+    return model

@@ -1,0 +1,32 @@
+"""Safe set/clock patterns that shape-match REP203/REP204."""
+
+import time
+
+
+def sorted_iteration(records):
+    unique = {record.name for record in records}
+    ordered = []
+    for name in sorted(unique):  # sorted(): deterministic order
+        ordered.append(name)
+    return ordered
+
+
+def order_free_reductions(tags):
+    tag_set = set(tags)
+    total = sum(1 for _ in tag_set)  # order-independent consumers
+    return total, len(tag_set), max(tag_set), ", ".join(sorted(tag_set))
+
+
+def dict_iteration(counts):
+    lines = []
+    for key in counts:  # dicts are insertion-ordered: fine
+        lines.append(f"{key}={counts[key]}")
+    return lines
+
+
+def timed_run(fn, fingerprint, config):
+    """Timing around a fingerprint is fine -- the clock stays out of it."""
+    started = time.perf_counter()
+    key = fingerprint(config)
+    elapsed = time.perf_counter() - started
+    return key, elapsed

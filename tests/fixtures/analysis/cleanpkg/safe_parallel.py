@@ -1,0 +1,41 @@
+"""Safe parallel patterns that shape-match REP201/REP202."""
+
+import numpy as np
+
+from ..racepkg.pool import parallel_map
+
+
+def collect_via_return(items):
+    """The blessed pattern: return values, let the map keep order."""
+
+    def worker(item):
+        local = []
+        local.append(item * item)  # mutates a task-local container only
+        return local[0]
+
+    return parallel_map(worker, items)
+
+
+def journaled_run(journal, items):
+    """Recording through a thread-safe object is not a container mutation.
+
+    Mirrors repro.eval.experiments._run_grid: ``journal`` is an object
+    with its own locking, not a captured list/dict.
+    """
+
+    def worker(item):
+        value = item * 2
+        journal.record(str(item), {"value": value})
+        return value
+
+    return parallel_map(worker, items)
+
+
+def seeded_tasks(seed, items):
+    """Per-task generators from derived seeds are deterministic."""
+
+    def worker(index):
+        rng = np.random.default_rng((seed, index))  # seeded: fine
+        return rng.normal()
+
+    return parallel_map(worker, list(range(len(items))))

@@ -1,0 +1,5 @@
+"""Seeded REP3xx fixture: conformal calibration hygiene violations.
+
+Analyzed statically by the engine tests -- never imported at runtime.
+Every violation here must be caught; see tests/test_analysis_rules.py.
+"""

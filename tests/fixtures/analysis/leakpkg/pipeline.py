@@ -1,0 +1,25 @@
+"""The known-leakage fixture: calibration data reaches fit() across
+module boundaries (REP301) in three distinct ways."""
+
+from .splits import split_train_calibration
+from .training import run_training, train_model
+
+
+def leak_via_seam(model, X, y, rng):
+    """Seam-derived calibration indices fed straight into fit()."""
+    train_idx, cal_idx = split_train_calibration(len(y), 0.25, rng)
+    model.fit(X[cal_idx], y[cal_idx])  # REP301: direct, seam-tainted
+    return model
+
+
+def leak_one_module_away(model, X_cal, y_cal):
+    """Calibration-named arrays crossing one module boundary."""
+    return train_model(model, X_cal, y_cal)  # REP301 via train_model
+
+
+def leak_two_calls_away(model, X, y, rng):
+    """Calibration rows reaching fit() through two forwarding calls."""
+    train_idx, cal_idx = split_train_calibration(len(y), 0.25, rng)
+    X_cal = X[cal_idx]
+    y_cal = y[cal_idx]
+    return run_training(model, X_cal, y_cal)  # REP301 via run_training

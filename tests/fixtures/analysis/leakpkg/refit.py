@@ -1,0 +1,14 @@
+"""REP302 fixture: refitting a calibrated model without recalibrating."""
+
+
+def drift_update(model, X_new, y_new):
+    model.fit(X_new, y_new)
+    model.calibrate(X_new, y_new)
+    model.fit(X_new, y_new)  # REP302: scores now describe a stale model
+    return model
+
+
+def manual_scores_then_refit(model, residuals, X_new, y_new):
+    model.calibration_scores_ = sorted(residuals)
+    model.fit(X_new, y_new)  # REP302: manual calibration invalidated
+    return model

@@ -1,0 +1,8 @@
+"""Train/calibration split seam (shape mirrors repro.core.split_cp)."""
+
+
+def split_train_calibration(n_samples, calibration_fraction, rng):
+    """Return disjoint (train_idx, cal_idx) index lists."""
+    n_cal = max(1, int(n_samples * calibration_fraction))
+    order = rng.permutation(n_samples)
+    return order[n_cal:], order[:n_cal]

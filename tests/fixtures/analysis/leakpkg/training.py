@@ -1,0 +1,13 @@
+"""Fit helpers: innocent on their own, leaky when fed calibration data."""
+
+
+def train_model(model, features, targets):
+    """Fit ``model``; parameter positions 1 and 2 reach the fit sink."""
+    model.fit(features, targets)
+    return model
+
+
+def run_training(model, features, targets):
+    """One hop further from the sink: forwards to :func:`train_model`."""
+    prepared = [row for row in features]
+    return train_model(model, prepared, targets)

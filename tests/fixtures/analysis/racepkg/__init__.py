@@ -1,0 +1,4 @@
+"""Seeded REP2xx fixture: concurrency/determinism violations.
+
+Analyzed statically by the engine tests -- never imported at runtime.
+"""

@@ -1,0 +1,28 @@
+"""REP204 fixture: wall-clock/entropy reaching fingerprints and seeds."""
+
+import os
+import time
+
+
+def fingerprint(payload):
+    """Name-matched fingerprint sink (mirrors repro.runtime.checkpoint)."""
+    return hash(repr(payload))
+
+
+def checkpoint_key(config):
+    stamp = time.time()
+    return fingerprint({"config": config, "at": stamp})  # REP204: direct
+
+
+def stamp_and_digest(config):
+    salt = os.urandom(8)
+    return _digest_cell(config, salt)  # REP204: one call away
+
+
+def _digest_cell(config, extra):
+    return fingerprint((config, extra))
+
+
+def jittered_wait(policy):
+    wobble = time.monotonic()
+    return policy.delay(seed=wobble)  # REP204: entropy into seed=

@@ -1,0 +1,24 @@
+"""REP203 fixture: set iteration feeding ordered results."""
+
+
+def accumulate_names(records):
+    unique = {record.name for record in records}
+    ordered = []
+    for name in unique:  # REP203: for-loop over a set, appending
+        ordered.append(name)
+    return ordered
+
+
+def render_report(tags):
+    tag_set = set(tags)
+    return ", ".join(tag_set)  # REP203: join over a set
+
+
+def first_two(labels):
+    label_set = frozenset(labels)
+    return list(label_set)[:2]  # REP203: list() over a set
+
+
+def widths(cells):
+    cell_set = set(cells)
+    return [cell.width for cell in cell_set]  # REP203: comprehension

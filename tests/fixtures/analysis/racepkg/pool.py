@@ -1,0 +1,6 @@
+"""Stand-in parallel primitive with the repro.perf.parallel signature."""
+
+
+def parallel_map(fn, items, n_jobs=None):
+    """Sequential stand-in; the analyzer matches it by name."""
+    return [fn(item) for item in items]

@@ -1,0 +1,38 @@
+"""REP202 fixture: nondeterministic RNG use inside parallel task bodies."""
+
+import random
+
+import numpy as np
+
+from .pool import parallel_map
+
+SHARED_RNG = np.random.default_rng(1234)
+
+
+def simulate_fresh_entropy(seeds):
+    def draw(_seed):
+        rng = np.random.default_rng()  # REP202: unseeded inside a task
+        return rng.normal()
+
+    return parallel_map(draw, seeds)
+
+
+def simulate_shared_generator(seeds):
+    def draw(_seed):
+        return SHARED_RNG.normal()  # REP202: module-level generator
+
+    return parallel_map(draw, seeds)
+
+
+def simulate_stdlib_random(seeds):
+    def draw(_seed):
+        return random.random()  # REP202: stdlib global state
+
+    return parallel_map(draw, seeds)
+
+
+def simulate_legacy_numpy(seeds):
+    def draw(_seed):
+        return np.random.normal()  # REP202: legacy global numpy state
+
+    return parallel_map(draw, seeds)

@@ -1,0 +1,30 @@
+"""REP201 fixture: pooled closures mutating captured containers."""
+
+from .pool import parallel_map
+
+
+def collect_squares(items):
+    results = []
+
+    def worker(item):
+        results.append(item * item)  # REP201: completion-order dependent
+
+    parallel_map(worker, items)
+    return results
+
+
+def tally_by_key(pairs, pool):
+    counts = {}
+
+    def worker(pair):
+        key, value = pair
+        counts[key] = counts.get(key, 0) + value  # REP201: subscript store
+
+    pool.submit(worker, pairs)
+    return counts
+
+
+def count_with_lambda(items):
+    seen = []
+    parallel_map(lambda item: seen.append(item), items)  # REP201: lambda
+    return seen

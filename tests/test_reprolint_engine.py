@@ -310,3 +310,156 @@ class TestCli:
         out = capsys.readouterr().out
         for rule in ALL_RULES:
             assert rule.rule_id in out
+
+
+class TestAnalysisConfigLoading:
+    def write_pyproject(self, tmp_path, body):
+        (tmp_path / "pyproject.toml").write_text(body)
+        return str(tmp_path / "anything.py")
+
+    def test_reads_analysis_table(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path,
+            "[tool.reprolint]\n"
+            'disable = ["REP104"]\n'
+            "[tool.reprolint.analysis]\n"
+            'disable = ["REP203"]\n'
+            'exclude = ["*/vendor/*"]\n'
+            'baseline = "accepted.json"\n',
+        )
+        config = load_config(anchor)
+        assert config.analysis.disable == frozenset({"REP203"})
+        assert config.analysis.exclude == ("*/vendor/*",)
+        # The relative baseline anchors at the pyproject directory.
+        assert config.analysis.baseline == str(tmp_path / "accepted.json")
+        # The analysis table is NOT a lint scope and leaves lint config alone.
+        assert config.disable == frozenset({"REP104"})
+        assert all(scope.name != "analysis" for scope in config.scopes)
+
+    def test_missing_analysis_table_gives_defaults(self, tmp_path):
+        anchor = self.write_pyproject(tmp_path, "[tool.reprolint]\n")
+        config = load_config(anchor)
+        assert config.analysis.baseline is None
+        assert config.analysis.rule_enabled("REP201", "parallel-closure-mutation")
+
+    def test_analysis_unknown_key_raises(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path, "[tool.reprolint.analysis]\npaths = []\n"
+        )
+        with pytest.raises(ValueError, match=r"analysis.*unknown keys"):
+            load_config(anchor)
+
+    def test_analysis_baseline_type_checked(self, tmp_path):
+        anchor = self.write_pyproject(
+            tmp_path, "[tool.reprolint.analysis]\nbaseline = 3\n"
+        )
+        with pytest.raises(ValueError, match="baseline must be a string"):
+            load_config(anchor)
+
+    def test_analysis_rule_enable_beats_disable(self):
+        from repro.devtools.config import AnalysisConfig
+
+        analysis = AnalysisConfig(
+            enable=frozenset({"REP301"}), disable=frozenset({"REP301"})
+        )
+        assert analysis.rule_enabled("REP301", "calibration-leak")
+        assert not analysis.rule_enabled("REP302", "refit-after-calibrate")
+
+
+class TestCliHardening:
+    """Engine failures must be reported as exit 2, never a traceback
+    and never a clean/dirty verdict on code the engine could not see."""
+
+    def test_syntax_error_file_exits_two(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        assert main(["--no-config", str(tmp_path)]) == EXIT_ERROR
+        out = capsys.readouterr().out
+        assert "REP000" in out
+
+    def test_empty_scope_paths_exits_two(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint.perf]\npaths = []\n"
+        )
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "paths" in err
+
+    def test_scopeless_table_exits_two(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.reprolint.perf]\ndisable = ["REP102"]\n'
+        )
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_analysis_table_exits_two(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.reprolint.analysis]\nbogus = 1\n"
+        )
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSarifReporter:
+    def make_diag(self, rule_id="REP104", name="no-assert-in-src"):
+        return Diagnostic(
+            path="src/m.py",
+            line=3,
+            column=4,
+            rule_id=rule_id,
+            rule_name=name,
+            message="assert found",
+        )
+
+    def test_sarif_shape(self):
+        from repro.devtools.reporters import render_sarif
+
+        document = json.loads(
+            render_sarif([self.make_diag()], tool_name="reprolint", rules=ALL_RULES)
+        )
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].startswith("https://")
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert ids == sorted(ids)
+        result = run["results"][0]
+        assert result["ruleId"] == "REP104"
+        assert ids[result["ruleIndex"]] == "REP104"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        # SARIF columns are 1-based; Diagnostic columns are 0-based.
+        assert region == {"startLine": 3, "startColumn": 5}
+
+    def test_sarif_unknown_rule_gets_index_minus_one(self):
+        from repro.devtools.reporters import render_sarif
+
+        diag = self.make_diag(rule_id="REP000", name="parse-error")
+        document = json.loads(
+            render_sarif([diag], tool_name="reprolint", rules=())
+        )
+        result = document["runs"][0]["results"][0]
+        assert result["ruleId"] == "REP000"
+        assert "ruleIndex" not in result or result["ruleIndex"] == -1
+
+    def test_sarif_empty_run_is_valid(self):
+        from repro.devtools.reporters import render_sarif
+
+        document = json.loads(render_sarif([], tool_name="reprolint", rules=ALL_RULES))
+        assert document["runs"][0]["results"] == []
+
+    def test_lint_cli_sarif_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x):\n    assert x\n")
+        artifact = tmp_path / "lint.sarif"
+        code = main(
+            ["--no-config", "--sarif-output", str(artifact), str(dirty)]
+        )
+        assert code == EXIT_FINDINGS
+        capsys.readouterr()
+        document = json.loads(artifact.read_text())
+        assert any(
+            r["ruleId"] == "REP104" for r in document["runs"][0]["results"]
+        )
