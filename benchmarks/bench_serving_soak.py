@@ -1,0 +1,126 @@
+"""Serving-layer soak benchmark with a machine-readable JSON report.
+
+Runs :func:`repro.eval.stress.run_serving_campaign` -- the full
+registry / hot-swap / admission-control / recalibration stack under
+injected artifact corruption, a SIGKILLed scoring worker, and covariate
+drift -- against the standard synthetic lot, and writes
+``benchmarks/results/BENCH_serving.json`` (see :mod:`repro.perf.bench`
+for the schema) with:
+
+* the campaign wall time plus throughput (chips/s) and p50/p99
+  per-request latency recorded as timing metadata,
+* the audited invariants as named checks: no unverified artifact ever
+  served, zero requests dropped across hot-swaps, empirical coverage
+  within the campaign tolerance of the promised ``1 - alpha``, at
+  least one drift-triggered recalibration and one quarantined version,
+  and the service ending the campaign ``READY``.
+
+Wall times and latency figures vary run to run; the checks are the
+contract and are asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEED, RESULTS_DIR, bench_profile_name, publish
+
+from repro.eval.stress import run_serving_campaign
+from repro.models import ObliviousBoostingRegressor
+from repro.perf.bench import BenchRecorder
+from repro.robust import RobustVminFlow
+
+N_TRAIN = 110
+
+REPORT_PATH = RESULTS_DIR / "BENCH_serving.json"
+
+
+def _campaign_sizes() -> dict:
+    """Phase lengths per profile: smoke is CI-sized, fast/full soak longer."""
+    if bench_profile_name() == "smoke":
+        return dict(
+            n_clean_batches=3,
+            n_crash_batches=3,
+            n_swap_batches=4,
+            n_drift_batches=10,
+            n_recovery_batches=6,
+        )
+    return dict(
+        n_clean_batches=6,
+        n_crash_batches=6,
+        n_swap_batches=8,
+        n_drift_batches=16,
+        n_recovery_batches=10,
+    )
+
+
+def test_serving_soak(dataset, profile, tmp_path):
+    X, names = dataset.features(0)
+    y = dataset.target(25.0, 0)
+    parametric = [i for i, n in enumerate(names) if n.startswith("par_")]
+    monitors = [i for i, n in enumerate(names) if not n.startswith("par_")]
+    flow = RobustVminFlow(
+        base_model=ObliviousBoostingRegressor(
+            n_estimators=profile.catboost_estimators,
+            quantile=0.5,
+            random_state=BENCH_SEED,
+        ),
+        alpha=0.1,
+        random_state=BENCH_SEED,
+        monitor_window=40,
+        monitor_min_observations=20,
+    )
+    flow.fit(
+        X[:N_TRAIN],
+        y[:N_TRAIN],
+        feature_names=names,
+        fallback_columns=parametric,
+        monitor_columns=monitors,
+    )
+
+    recorder = BenchRecorder(
+        benchmark="serving", profile=bench_profile_name(), n_jobs=1
+    )
+    report = recorder.timed(
+        "serving_campaign",
+        lambda: run_serving_campaign(
+            flow,
+            X[N_TRAIN:],
+            y[N_TRAIN:],
+            tmp_path / "registry",
+            batch_size=20,
+            seed=BENCH_SEED,
+            **_campaign_sizes(),
+        ),
+    )
+    recorder.record(
+        "serving_metrics",
+        recorder.wall_s("serving_campaign"),
+        chips_per_s=report.chips_per_s,
+        p50_latency_s=report.p50_latency_s,
+        p99_latency_s=report.p99_latency_s,
+        coverage=report.coverage,
+        target_coverage=report.target_coverage,
+        tolerance=report.tolerance,
+        n_requests=report.n_requests,
+        n_served=report.n_served,
+        n_retried=report.n_retried,
+        n_recalibrations=report.n_recalibrations,
+        n_versions=report.n_versions,
+        n_quarantined=report.n_quarantined,
+        downgrade_reasons=[reason for reason, _ in report.downgrades],
+        final_state=report.final_state,
+    )
+    recorder.check("never_served_unverified", report.unverified_serves == 0)
+    recorder.check("zero_dropped_during_swap", report.dropped_during_swap == 0)
+    recorder.check(
+        "coverage_within_tolerance",
+        report.coverage >= report.target_coverage - report.tolerance,
+    )
+    recorder.check("recalibrated_under_drift", report.n_recalibrations >= 1)
+    recorder.check("corrupt_version_quarantined", report.n_quarantined >= 1)
+    recorder.check("ends_ready", report.final_state == "ready")
+
+    path = recorder.write(REPORT_PATH)
+    publish("serving_soak", report.to_table())
+    print(f"wrote {path}")
+
+    assert report.ok(), report.to_table()

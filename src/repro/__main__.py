@@ -11,6 +11,11 @@ Four commands cover the non-programmatic workflows:
   runtime: journaled checkpoint/``--resume``, deterministic
   ``--max-retries``, per-cell ``--task-timeout``, and atomic
   ``--output`` JSON with a checksum sidecar,
+* ``serve`` -- score a lot through the fault-tolerant serving layer
+  (:mod:`repro.serve`): verified model registry, fallback chain,
+  coverage-monitored scoring; ``--bootstrap`` fits and publishes a
+  first version.  Exits 0 when the service ends ``READY``, 1 when it
+  ends degraded, 2 on error,
 * ``analyze`` -- whole-program static analysis (concurrency/determinism
   races, conformal calibration hygiene); delegated to
   :mod:`repro.devtools.analysis.cli` with its own options.
@@ -26,6 +31,7 @@ import argparse
 import os
 import sys
 import zipfile
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -40,7 +46,7 @@ from repro.eval.experiments import (
     run_region_grid,
 )
 from repro.models import ObliviousBoostingRegressor
-from repro.runtime.artifacts import write_checksum, write_json_atomic
+from repro.runtime.artifacts import verify_artifact, write_checksum, write_json_atomic
 from repro.runtime.checkpoint import RunJournal
 from repro.runtime.retry import RetryPolicy
 from repro.silicon.io import export_flow_csv, load_measurements, save_measurements
@@ -77,8 +83,9 @@ def _seed_value(text: str) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = SiliconDataset.generate(n_chips=args.chips, seed=args.seed)
     path = save_measurements(dataset, args.output)
+    sidecar = write_checksum(path)
     print(dataset.summary())
-    print(f"measurements written to {path}")
+    print(f"measurements written to {path} (checksum {sidecar.name})")
     if args.flow_csv:
         rows = export_flow_csv(dataset, args.flow_csv)
         print(f"flow log ({rows} records) written to {args.flow_csv}")
@@ -160,6 +167,19 @@ def _split_list(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
+def _verify_dataset_artifact(path: str) -> None:
+    """Checksum-verify a lot archive when its ``.sha256`` sidecar exists.
+
+    Lots written by ``repro generate`` carry a sidecar; a corrupt
+    archive then raises :class:`ArtifactCorruptionError` (exit 2 via
+    the CLI's ``ValueError`` mapping) before half-parsed data reaches a
+    grid or serving run.  Sidecar-less archives load unverified, so
+    hand-built lots keep working.
+    """
+    if Path(str(path) + ".sha256").exists():
+        verify_artifact(path)
+
+
 def _grid_cell_rows(kind: str, result: GridResult) -> List[Dict[str, Any]]:
     """Flatten a grid into JSON-ready per-cell rows (cell order)."""
     rows: List[Dict[str, Any]] = []
@@ -227,6 +247,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             print(f"resuming from {journal.path} ({len(journal)} cells recorded)")
 
     if args.dataset:
+        _verify_dataset_artifact(args.dataset)
         dataset = load_measurements(args.dataset)
     else:
         dataset = SiliconDataset.generate(seed=args.seed)
@@ -297,6 +318,96 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving stack is only needed for this command.
+    from repro.robust import RobustVminFlow
+    from repro.serve import (
+        ModelRegistry,
+        RejectedRequest,
+        ServiceState,
+        VminServingService,
+    )
+
+    if args.dataset:
+        _verify_dataset_artifact(args.dataset)
+        dataset = load_measurements(args.dataset)
+    else:
+        dataset = SiliconDataset.generate(seed=args.seed)
+    if args.hours not in dataset.read_points:
+        print(
+            f"error: read point {args.hours} h not in {list(dataset.read_points)}",
+            file=sys.stderr,
+        )
+        return 2
+    X, names = dataset.features(args.hours)
+    try:
+        y = dataset.target(args.temperature, args.hours)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    n_train = int(round(dataset.n_chips * (1.0 - args.holdout)))
+    if not 2 <= n_train < dataset.n_chips:
+        print("error: holdout leaves no usable train/test split", file=sys.stderr)
+        return 2
+
+    registry = ModelRegistry(args.registry)
+    if args.bootstrap:
+        parametric = [i for i, n in enumerate(names) if n.startswith("par_")]
+        monitors = [i for i, n in enumerate(names) if not n.startswith("par_")]
+        base = ObliviousBoostingRegressor(
+            n_estimators=args.trees, quantile=0.5, random_state=args.seed
+        )
+        flow = RobustVminFlow(
+            base_model=base, alpha=args.alpha, random_state=args.seed
+        )
+        flow.fit(
+            X[:n_train],
+            y[:n_train],
+            feature_names=names,
+            fallback_columns=parametric or None,
+            monitor_columns=monitors or None,
+        )
+        record = registry.publish(
+            flow,
+            reason="published",
+            metadata={"alpha": args.alpha, "seed": args.seed},
+        )
+        print(f"bootstrapped registry: published {record.name}")
+
+    service = VminServingService(registry)
+    service.start()
+    if service.served_model is None:
+        print(
+            f"error: registry {args.registry} has no servable version "
+            "(pass --bootstrap to fit and publish one)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        result = service.score(X[n_train:])
+    except RejectedRequest as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service.observe(X[n_train:], y[n_train:])
+    prediction = result.prediction
+    print(
+        f"served {len(prediction)} chips from {result.model_version} "
+        f"(fallback level {result.fallback_level.name}, "
+        f"status {prediction.status.value})"
+    )
+    print(
+        f"held-out coverage {prediction.coverage(y[n_train:]):.1%}, "
+        f"mean width {prediction.mean_width*1e3:.1f} mV"
+    )
+    for note in prediction.notes:
+        print(f"  note: {note}")
+    for transition in service.health.downgrades():
+        print(f"  downgrade: {transition.describe()}")
+    print(f"service state: {service.state.value}")
+    return 0 if service.state is ServiceState.READY else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     # Imported lazily: the analysis stack is only needed for this command.
     from repro.devtools.analysis.cli import main as analyze_main
@@ -305,7 +416,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the three-command argument parser (generate/info/predict)."""
+    """Build the CLI parser (generate/info/predict/grid/serve/analyze)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Vmin interval prediction toolkit (DATE 2024 reproduction)",
@@ -394,6 +505,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write grid results JSON atomically, with a .sha256 sidecar",
     )
     grid.set_defaults(handler=_cmd_grid)
+
+    serve = commands.add_parser(
+        "serve",
+        help="score a lot through the verified-registry serving layer",
+    )
+    serve.add_argument(
+        "registry", help="model registry root directory (created if absent)"
+    )
+    serve.add_argument(
+        "--dataset", default=None, help=".npz lot (default: generate fresh)"
+    )
+    serve.add_argument(
+        "--bootstrap", action="store_true",
+        help="fit a RobustVminFlow on the train split and publish it first",
+    )
+    serve.add_argument("--temperature", type=float, default=25.0)
+    serve.add_argument("--hours", type=int, default=0)
+    serve.add_argument("--alpha", type=float, default=0.1)
+    serve.add_argument("--holdout", type=float, default=0.25)
+    serve.add_argument("--trees", type=int, default=100)
+    serve.add_argument("--seed", type=_seed_value, default=0)
+    serve.set_defaults(handler=_cmd_serve)
 
     # ``analyze`` is delegated wholesale to the analysis CLI (it owns a
     # richer option set); this stub keeps it visible in --help.

@@ -15,7 +15,10 @@ faults deterministically, bound each cell with a watchdog timeout, and
 can capture failures as structured :class:`FailureRecord` entries
 instead of aborting -- see ``docs/RUNTIME.md``.
 :func:`run_execution_campaign` stress-tests exactly that machinery by
-crashing and hanging workers mid-grid.
+crashing and hanging workers mid-grid, and
+:func:`run_serving_campaign` soaks the full :mod:`repro.serve` stack
+(registry, hot-swap, admission control, recalibration) under injected
+artifact corruption, SIGKILLed workers, and covariate drift.
 """
 
 from repro.eval.diagnostics import (
@@ -55,10 +58,12 @@ from repro.eval.reporting import format_series, format_table, write_report
 from repro.eval.stress import (
     ExecutionStressReport,
     ExecutionStressResult,
+    ServingStressReport,
     StressReport,
     StressResult,
     run_execution_campaign,
     run_fault_campaign,
+    run_serving_campaign,
 )
 
 __all__ = [
@@ -74,6 +79,7 @@ __all__ = [
     "POINT_MODEL_NAMES",
     "PointCVResult",
     "REGION_METHOD_NAMES",
+    "ServingStressReport",
     "StressReport",
     "StressResult",
     "coverage_width_criterion",
@@ -95,5 +101,6 @@ __all__ = [
     "run_point_grid",
     "run_region_experiment",
     "run_region_grid",
+    "run_serving_campaign",
     "write_report",
 ]

@@ -16,27 +16,51 @@ clean, then once per :class:`~repro.robust.faults.ExecutionFault`
 scenario with workers crashing or hanging mid-grid, and asserts that
 the runtime (:mod:`repro.runtime`: retries, watchdog timeouts, requeue)
 recovers every cell with results bit-identical to the clean run.
+
+The third mode is the serving soak: :func:`run_serving_campaign` stands
+up a full :class:`~repro.serve.service.VminServingService` against a
+real on-disk registry and drives it through the faults a deployment
+actually meets -- a scoring worker SIGKILLed mid-request, transient
+in-process crashes, a hot-swap under concurrent load, covariate drift
+that must trigger online recalibration and republication, and an
+artifact corrupted on disk that must be quarantined and rolled back --
+then audits the invariants: no unverified artifact ever served, zero
+requests dropped across hot-swaps, every downgrade carrying a reason
+code, empirical coverage within tolerance, and the service ending the
+campaign ``READY``.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.eval.experiments import ExperimentProfile, run_point_grid
 from repro.eval.reporting import format_table
-from repro.robust.faults import ExecutionFault, TaskCrashFault, TaskHangFault
+from repro.robust.faults import (
+    AgingDrift,
+    ExecutionFault,
+    TaskCrashFault,
+    TaskHangFault,
+)
 from repro.runtime.retry import RetryPolicy
+from repro.runtime.watchdog import run_in_subprocess
 
 __all__ = [
     "ExecutionStressReport",
     "ExecutionStressResult",
+    "ServingStressReport",
     "StressReport",
     "StressResult",
     "run_execution_campaign",
     "run_fault_campaign",
+    "run_serving_campaign",
 ]
 
 
@@ -335,3 +359,372 @@ def run_execution_campaign(
             )
         )
     return ExecutionStressReport(results=tuple(results))
+
+
+# ---------------------------------------------------------------------------
+# serving soak campaign (registry corruption, SIGKILLed workers, drift)
+# ---------------------------------------------------------------------------
+
+
+def _sigkill_entry(sentinel: str) -> bool:
+    """Subprocess body: die by SIGKILL once, succeed ever after.
+
+    The sentinel file is the cross-process attempt counter: the first
+    run creates it and SIGKILLs itself (a *real* kill, surfacing in the
+    parent as :class:`~repro.runtime.watchdog.WorkerCrash`); reruns see
+    the sentinel and return normally, so a retry policy recovers.
+    """
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write("struck\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return True
+
+
+class _SigkillWorker:
+    """Task wrapper whose first wrapped call loses a worker to SIGKILL.
+
+    Wraps a per-request callable so that, exactly once per sentinel
+    path, a helper subprocess is killed with ``SIGKILL`` before the
+    request runs -- raising :class:`~repro.runtime.watchdog.WorkerCrash`
+    (a transient fault) into the service's retry loop.  Subsequent
+    attempts find the sentinel and pass straight through.
+    """
+
+    def __init__(self, sentinel: Path, timeout: float = 30.0) -> None:
+        self.sentinel = Path(sentinel)
+        self.timeout = float(timeout)
+
+    def wrap(
+        self, fn: Callable[[object], object]
+    ) -> Callable[[object], object]:
+        """Return ``fn`` preceded by the one-shot SIGKILL probe."""
+
+        def struck(item: object) -> object:
+            run_in_subprocess(
+                _sigkill_entry, str(self.sentinel), timeout=self.timeout
+            )
+            return fn(item)
+
+        return struck
+
+
+@dataclass(frozen=True)
+class ServingStressReport:
+    """Metrics and audited invariants of one serving soak campaign.
+
+    Attributes
+    ----------
+    n_requests, n_served, n_overloaded, n_retried:
+        Requests issued, answered, shed by admission control, and
+        answered only after at least one retry.
+    dropped_during_swap:
+        Requests issued concurrently with a hot-swap that failed with
+        anything other than typed load-shedding -- the zero-downtime
+        invariant says this must be 0.
+    unverified_serves:
+        Served batches whose model version never passed checksum
+        verification -- must be 0 by the registry's construction.
+    chips_per_s, p50_latency_s, p99_latency_s:
+        Scoring throughput and per-request latency percentiles.
+    coverage, target_coverage, tolerance:
+        Empirical coverage over every served-and-labelled chip of the
+        campaign (drift phase included) against the promised
+        ``1 - alpha`` and the campaign's allowance.
+    n_recalibrations, n_versions, n_quarantined:
+        Drift-triggered republications, registry versions at campaign
+        end, and versions quarantined by corruption.
+    downgrades:
+        Every audited quality-loss event as ``(reason_code, detail)``
+        pairs -- the trail the harness checks for completeness.
+    final_state:
+        The service state at campaign end (``ready`` on success).
+    """
+
+    n_requests: int
+    n_served: int
+    n_overloaded: int
+    n_retried: int
+    dropped_during_swap: int
+    unverified_serves: int
+    chips_per_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    coverage: float
+    target_coverage: float
+    tolerance: float
+    n_recalibrations: int
+    n_versions: int
+    n_quarantined: int
+    downgrades: Tuple[Tuple[str, str], ...]
+    final_state: str
+
+    def ok(self) -> bool:
+        """Whether every soak invariant held."""
+        return (
+            self.unverified_serves == 0
+            and self.dropped_during_swap == 0
+            and self.coverage >= self.target_coverage - self.tolerance
+            and self.final_state == "ready"
+            and self.n_recalibrations >= 1
+            and self.n_quarantined >= 1
+            and all(reason for reason, _ in self.downgrades)
+        )
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Monospace metric table plus the downgrade audit trail."""
+        rows = [
+            ["requests", self.n_requests],
+            ["served", self.n_served],
+            ["overloaded (shed)", self.n_overloaded],
+            ["retried", self.n_retried],
+            ["dropped during swap", self.dropped_during_swap],
+            ["unverified serves", self.unverified_serves],
+            ["chips/s", self.chips_per_s],
+            ["p50 latency (ms)", self.p50_latency_s * 1e3],
+            ["p99 latency (ms)", self.p99_latency_s * 1e3],
+            ["coverage (%)", self.coverage * 100.0],
+            ["target - tol (%)", (self.target_coverage - self.tolerance) * 100.0],
+            ["recalibrations", self.n_recalibrations],
+            ["registry versions", self.n_versions],
+            ["quarantined", self.n_quarantined],
+            ["final state", self.final_state],
+        ]
+        table = format_table(
+            ["Metric", "Value"], rows, title=title or "Serving soak report"
+        )
+        audit = "\n".join(
+            f"  [{reason}] {detail}" for reason, detail in self.downgrades
+        )
+        return table + "\nDowngrade audit:\n" + (audit or "  (none)")
+
+
+def _request_batches(
+    n_rows: int, batch_size: int, count: int, start: int
+) -> List[np.ndarray]:
+    """``count`` wrapped index windows over ``n_rows`` rows."""
+    return [
+        (start + batch * batch_size + np.arange(batch_size)) % n_rows
+        for batch in range(count)
+    ]
+
+
+def run_serving_campaign(
+    flow,
+    X: np.ndarray,
+    y: np.ndarray,
+    registry_root: Union[str, Path],
+    batch_size: int = 25,
+    n_clean_batches: int = 4,
+    n_crash_batches: int = 4,
+    n_swap_batches: int = 6,
+    n_drift_batches: int = 12,
+    n_recovery_batches: int = 8,
+    drift_shift: float = 2.0,
+    min_recal_labels: int = 30,
+    tolerance: float = 0.15,
+    seed: int = 0,
+) -> ServingStressReport:
+    """Soak a full serving stack through the faults of a deployment.
+
+    Publishes ``flow`` to a fresh :class:`~repro.serve.registry.
+    ModelRegistry` at ``registry_root``, starts a
+    :class:`~repro.serve.service.VminServingService` on it, then drives
+    six phases over the held-out stream ``(X, y)``:
+
+    1. **clean** -- nominal scoring with label feedback;
+    2. **worker crash** -- the first request loses a worker to a real
+       ``SIGKILL`` (via a subprocess probe) and a seeded fraction of
+       requests crash transiently in-process; the retry policy must
+       recover all of them;
+    3. **hot-swap under load** -- a new version is published and
+       swapped in while concurrent threads keep scoring; no request may
+       fail with anything but typed load shedding;
+    4. **drift** -- labels shift by ``drift_shift`` volts while the
+       monitors age (:class:`~repro.robust.faults.AgingDrift`); the
+       coverage monitor must alarm, degrade the service, and the
+       :class:`~repro.serve.recalibration.DriftRecalibrator` must
+       republish a recalibrated version;
+    5. **corruption** -- the latest bundle is corrupted on disk; the
+       forced reload must quarantine it and roll back to the last known
+       good version;
+    6. **recovery** -- a good bundle is republished, the service swaps
+       onto it and must end the campaign ``READY`` on a clean stream.
+
+    Returns a :class:`ServingStressReport`; ``report.ok()`` is the
+    single pass/fail the CI smoke job asserts.
+    """
+    # Deferred import: repro.serve depends on repro.robust, and keeping
+    # eval's module import light lets `repro.eval` load without the
+    # serving stack when only the data-fault campaigns are used.
+    from repro.serve.recalibration import DriftRecalibrator
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.service import (
+        Overloaded,
+        ServingConfig,
+        VminServingService,
+    )
+
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y must be a matching 2-D/1-D pair, got {X.shape} and {y.shape}"
+        )
+    if X.shape[0] < batch_size:
+        raise ValueError(
+            f"need at least one batch of {batch_size} rows, got {X.shape[0]}"
+        )
+    root = Path(registry_root)
+    registry = ModelRegistry(root)
+    registry.publish(flow, reason="published", metadata={"phase": "bootstrap"})
+    config = ServingConfig(
+        max_in_flight=2,
+        max_waiting=4,
+        queue_timeout_s=30.0,
+        deadline_s=60.0,
+        retry_policy=RetryPolicy(
+            max_attempts=4, backoff_base=0.01, backoff_max=0.05, seed=seed
+        ),
+    )
+    service = VminServingService(registry, config=config)
+    service.start()
+
+    latencies: List[float] = []
+    chips_served = 0
+    covered = 0
+    labelled = 0
+    n_requests = 0
+    n_retried = 0
+    unverified = 0
+    results_lock = threading.Lock()
+
+    def score_and_count(batch: np.ndarray, labels: Optional[np.ndarray]):
+        """One audited request: score, tally metrics and coverage."""
+        nonlocal chips_served, covered, labelled, n_requests, n_retried
+        nonlocal unverified
+        with results_lock:
+            n_requests += 1
+        result = service.score(batch)
+        with results_lock:
+            latencies.append(result.wall_s)
+            chips_served += len(result.prediction)
+            if result.attempts > 1:
+                n_retried += 1
+            if result.model_version not in service.verified_versions_:
+                unverified += 1
+            if labels is not None:
+                covered += int(
+                    np.sum(result.prediction.intervals.contains(labels))
+                )
+                labelled += int(labels.shape[0])
+        return result
+
+    cursor = 0
+
+    # Phase 1: clean scoring with label feedback.
+    for rows in _request_batches(X.shape[0], batch_size, n_clean_batches, cursor):
+        score_and_count(X[rows], y[rows])
+        service.observe(X[rows], y[rows])
+    cursor += n_clean_batches * batch_size
+
+    # Phase 2: a real SIGKILLed worker plus transient in-process crashes.
+    crash = TaskCrashFault(fraction=0.5, n_failures=1, seed=seed + 1)
+    sigkill = _SigkillWorker(root / "sigkill.sentinel")
+    service.task_wrapper = lambda fn: sigkill.wrap(crash.wrap(fn))
+    for rows in _request_batches(X.shape[0], batch_size, n_crash_batches, cursor):
+        score_and_count(X[rows], y[rows])
+        service.observe(X[rows], y[rows])
+    service.task_wrapper = None
+    cursor += n_crash_batches * batch_size
+
+    # Phase 3: hot-swap while concurrent threads keep scoring.
+    registry.publish(
+        flow, reason="republished", metadata={"phase": "swap_under_load"}
+    )
+    swap_errors: List[BaseException] = []
+    n_overload_sheds = 0
+
+    def swap_load(thread_index: int) -> None:
+        nonlocal n_overload_sheds
+        offset = cursor + thread_index * n_swap_batches * batch_size
+        for rows in _request_batches(
+            X.shape[0], batch_size, n_swap_batches, offset
+        ):
+            try:
+                score_and_count(X[rows], y[rows])
+            except Overloaded:
+                with results_lock:
+                    n_overload_sheds += 1
+            except BaseException as error:  # noqa: BLE001 - audited below
+                with results_lock:
+                    swap_errors.append(error)
+
+    threads = [
+        threading.Thread(target=swap_load, args=(index,)) for index in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    service.hot_swap()
+    for thread in threads:
+        thread.join()
+    dropped_during_swap = len(swap_errors)
+    cursor += 3 * n_swap_batches * batch_size
+
+    # Phase 4: covariate + label drift; must alarm, recalibrate, republish.
+    recalibrator = DriftRecalibrator(service, min_labels=min_recal_labels)
+    drift_rng = np.random.default_rng(seed + 2)
+    aging = AgingDrift(shift_scale=0.5)
+    for rows in _request_batches(X.shape[0], batch_size, n_drift_batches, cursor):
+        X_drift = aging.inject(X[rows], drift_rng)
+        y_drift = y[rows] + drift_shift
+        score_and_count(X_drift, y_drift)
+        recalibrator.ingest(X_drift, y_drift)
+    cursor += n_drift_batches * batch_size
+
+    # Phase 5: corrupt the live bundle on disk; reload must quarantine
+    # it and roll the service back to the last known good version.
+    live = registry.latest()
+    bundle = registry.versions_dir / live / "bundle.pkl"
+    payload = bytearray(bundle.read_bytes())
+    payload[: min(64, len(payload))] = b"\x00" * min(64, len(payload))
+    bundle.write_bytes(bytes(payload))
+    service.hot_swap()
+
+    # Phase 6: republish a good bundle, swap onto it, finish clean.
+    registry.publish(
+        service.served_model,
+        reason="republished",
+        metadata={"phase": "recovery"},
+    )
+    service.hot_swap()
+    for rows in _request_batches(
+        X.shape[0], batch_size, n_recovery_batches, cursor
+    ):
+        score_and_count(X[rows], y[rows])
+        service.observe(X[rows], y[rows])
+
+    sorted_latencies = np.sort(np.asarray(latencies))
+    total_wall = float(np.sum(sorted_latencies))
+    return ServingStressReport(
+        n_requests=n_requests,
+        n_served=service.n_served_,
+        n_overloaded=n_overload_sheds,
+        n_retried=n_retried,
+        dropped_during_swap=dropped_during_swap,
+        unverified_serves=unverified,
+        chips_per_s=(chips_served / total_wall) if total_wall > 0 else 0.0,
+        p50_latency_s=float(np.percentile(sorted_latencies, 50)),
+        p99_latency_s=float(np.percentile(sorted_latencies, 99)),
+        coverage=(covered / labelled) if labelled else 0.0,
+        target_coverage=1.0 - float(flow.alpha),
+        tolerance=float(tolerance),
+        n_recalibrations=len(recalibrator.events_),
+        n_versions=len(registry.versions()),
+        n_quarantined=len(registry.quarantined()),
+        downgrades=tuple(
+            (record.reason.value, record.detail)
+            for record in service.health.downgrades()
+        ),
+        final_state=service.state.value,
+    )

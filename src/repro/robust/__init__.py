@@ -47,12 +47,13 @@ from repro.robust.faults import (
 from repro.robust.flow import RobustVminFlow
 from repro.robust.guard import FeatureHealthGuard, HealthReport
 from repro.robust.imputation import TrainStatImputer
-from repro.robust.monitoring import CoverageAlarm, CoverageMonitor
+from repro.robust.monitoring import CoverageAlarm, CoverageMonitor, CoverageTransition
 
 __all__ = [
     "AgingDrift",
     "CoverageAlarm",
     "CoverageMonitor",
+    "CoverageTransition",
     "DeadSensors",
     "DegradationPolicy",
     "DegradationStatus",

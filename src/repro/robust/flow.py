@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.adaptive import AdaptiveConformalPredictor
+from repro.core.intervals import PredictionIntervals
 from repro.flow.pipeline import VminPredictionFlow
 from repro.models.base import BaseRegressor, check_fitted, check_X_y, clone
 from repro.robust.fallback import (
@@ -223,24 +224,49 @@ class RobustVminFlow:
         return self
 
     # -- serving ---------------------------------------------------------------
-    def _sanitize(self, X: np.ndarray) -> Tuple[np.ndarray, HealthReport]:
-        """Health-assess and impute a batch; only structural errors raise."""
+    def _validate_structure(self, X: np.ndarray) -> np.ndarray:
+        """Check dimensionality and column count; value damage passes."""
         check_fitted(self, "primary_")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(
                 f"X must be 2-D (n_samples, n_features), got shape {X.shape}"
             )
-        if X.shape[0] == 0:
-            raise ValueError("X must contain at least one sample")
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features, flow was fitted on "
                 f"{self.n_features_in_}"
             )
+        return X
+
+    def _sanitize(self, X: np.ndarray) -> Tuple[np.ndarray, HealthReport]:
+        """Health-assess and impute a batch; only structural errors raise."""
+        X = self._validate_structure(X)
         report = self.guard_.assess(X)
         clean = self.imputer_.transform(X, stuck=report.stuck)
         return clean, report
+
+    def _empty_prediction(self) -> DegradedPrediction:
+        """The structured no-op answer for a zero-chip batch.
+
+        A serving layer streaming wafers hits legitimately empty batches
+        (a fully screened-out lot, a drained queue flush); those must
+        round-trip as zero intervals, not crash the service.
+        """
+        d = self.n_features_in_
+        entries = np.zeros((0, d), dtype=bool)
+        columns = np.zeros(d, dtype=bool)
+        return DegradedPrediction(
+            intervals=PredictionIntervals(np.zeros(0), np.zeros(0)),
+            status=DegradationStatus.OK,
+            health=HealthReport(
+                missing=entries,
+                out_of_range=entries,
+                stuck=columns,
+                unhealthy=columns,
+            ),
+            notes=("empty batch: zero intervals served",),
+        )
 
     @property
     def adaptive_active(self) -> bool:
@@ -261,9 +287,14 @@ class RobustVminFlow:
         raises: the batch is sanitized, the degradation policy picks the
         serving path and the inflation charge, and the full story comes
         back as a :class:`DegradedPrediction`.  Structural errors (wrong
-        column count, empty batch) still raise ``ValueError`` -- those
-        are integration bugs, not field faults.
+        dimensionality or column count) still raise ``ValueError`` --
+        those are integration bugs, not field faults.  An *empty* batch
+        (zero chips, valid column count) is a no-op: zero intervals,
+        status ``OK``.
         """
+        X = self._validate_structure(X)
+        if X.shape[0] == 0:
+            return self._empty_prediction()
         X_clean, report = self._sanitize(X)
         # Column-level damage misses row-level faults (a dropped record
         # NaNs every feature of one chip without killing any column), so
@@ -337,7 +368,10 @@ class RobustVminFlow:
         coverage monitor.  On an alarm, serving switches permanently to
         the adaptive (Gibbs-Candès) margins and every subsequent
         observation updates them -- online recalibration.  Returns the
-        alarm fired by this batch, if any.
+        alarm fired by this batch, if any.  A zero-label batch is a
+        no-op (returns ``None`` without touching monitor or
+        recalibrator state) -- the serving layer's label feedback can
+        legitimately deliver nothing.
         """
         check_fitted(self, "primary_")
         y = np.asarray(y, dtype=np.float64)
@@ -345,12 +379,15 @@ class RobustVminFlow:
             raise ValueError(f"y must be 1-D, got shape {y.shape}")
         if not np.all(np.isfinite(y)):
             raise ValueError("y contains NaN or infinite values")
-        prediction = self.predict_interval(X)
-        if len(prediction) != y.shape[0]:
+        X = self._validate_structure(X)
+        if X.shape[0] != y.shape[0]:
             raise ValueError(
-                f"X and y have inconsistent lengths: {len(prediction)} vs "
+                f"X and y have inconsistent lengths: {X.shape[0]} vs "
                 f"{y.shape[0]}"
             )
+        if y.shape[0] == 0:
+            return None
+        prediction = self.predict_interval(X)
         covered = prediction.intervals.contains(y)
         alarm = self.monitor_.update(covered)
         if alarm is not None:

@@ -21,12 +21,13 @@ coverage under arbitrary drift.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["CoverageAlarm", "CoverageMonitor"]
+__all__ = ["CoverageAlarm", "CoverageMonitor", "CoverageTransition"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,49 @@ class CoverageAlarm:
             f"coverage alarm at observation {self.at_observation}: "
             f"rolling coverage {self.rolling_coverage:.1%} "
             f"< threshold {self.threshold:.1%}"
+        )
+
+
+@dataclass(frozen=True)
+class CoverageTransition:
+    """One alarm-state *transition* (enter or exit), with its context.
+
+    Where :class:`CoverageAlarm` records only breach events, the
+    transition log records the full hysteresis trajectory -- when the
+    monitor entered the alarmed state and when it recovered past the
+    re-arm level -- so the serving health state machine (and tests) can
+    assert the enter/exit pairing instead of polling ``in_alarm_``.
+
+    Attributes
+    ----------
+    kind:
+        ``"enter"`` when the rolling rate crossed below the threshold,
+        ``"exit"`` when it recovered to the full target (hysteresis).
+    at_observation:
+        1-based index of the streamed label that caused the transition.
+    rolling_coverage:
+        The windowed coverage at transition time.
+    threshold:
+        The alarm threshold (``target - tolerance``) in force.
+    timestamp:
+        Wall-clock seconds (``time.time()``) when the transition was
+        recorded -- for operational logs; ordering assertions should use
+        ``at_observation``, which is deterministic.
+    """
+
+    kind: str
+    at_observation: int
+    rolling_coverage: float
+    threshold: float
+    timestamp: float
+
+    def describe(self) -> str:
+        """Human-readable transition line."""
+        verb = "entered" if self.kind == "enter" else "exited"
+        return (
+            f"{verb} alarm state at observation {self.at_observation}: "
+            f"rolling coverage {self.rolling_coverage:.1%} "
+            f"(threshold {self.threshold:.1%})"
         )
 
 
@@ -103,6 +147,7 @@ class CoverageMonitor:
         self.min_observations = int(min_observations)
         self._outcomes: List[bool] = []
         self.alarms_: List[CoverageAlarm] = []
+        self.transitions_: List[CoverageTransition] = []
         self.in_alarm_ = False
 
     @property
@@ -146,11 +191,26 @@ class CoverageMonitor:
                         threshold=self.threshold,
                     )
                     self.alarms_.append(alarm)
+                    self._record_transition("enter", rate)
                     self.in_alarm_ = True
                     if first is None:
                         first = alarm
             elif rate >= self.target_coverage:
                 # Hysteresis: re-arm only after full recovery to target,
                 # so an oscillation around the threshold is one event.
+                if self.in_alarm_:
+                    self._record_transition("exit", rate)
                 self.in_alarm_ = False
         return first
+
+    def _record_transition(self, kind: str, rate: float) -> None:
+        """Append one enter/exit event to :attr:`transitions_`."""
+        self.transitions_.append(
+            CoverageTransition(
+                kind=kind,
+                at_observation=self.n_observed,
+                rolling_coverage=rate,
+                threshold=self.threshold,
+                timestamp=time.time(),
+            )
+        )

@@ -25,6 +25,7 @@ semantics.
 """
 
 from repro.runtime.artifacts import (
+    ArtifactCorruptionError,
     ArtifactError,
     atomic_path,
     atomic_write,
@@ -63,6 +64,7 @@ from repro.runtime.watchdog import (
 
 __all__ = [
     "Attempt",
+    "ArtifactCorruptionError",
     "ArtifactError",
     "Deadline",
     "JOURNAL_SCHEMA_VERSION",

@@ -13,7 +13,12 @@ complete file, never a torn one.
 Checksum helpers round the story out: :func:`file_checksum` computes a
 SHA-256, :func:`write_checksum` drops a ``<name>.sha256`` sidecar, and
 :func:`verify_artifact` validates a file against its sidecar (or an
-explicit digest) before anything trusts its contents.
+explicit digest) before anything trusts its contents.  Validation
+failures are typed: a *missing* sidecar is an :class:`ArtifactError`
+(the artifact may be fine, the bookkeeping is not), while a digest
+mismatch or an unparsable sidecar is an
+:class:`ArtifactCorruptionError` -- the content itself cannot be
+trusted, and callers like the model registry quarantine the file.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Any, IO, Iterator, Optional, Union
 from contextlib import contextmanager
 
 __all__ = [
+    "ArtifactCorruptionError",
     "ArtifactError",
     "atomic_path",
     "atomic_write",
@@ -44,7 +50,23 @@ _CHECKSUM_SUFFIX = ".sha256"
 
 
 class ArtifactError(ValueError):
-    """An artifact failed validation (checksum mismatch, missing sidecar)."""
+    """An artifact failed validation (checksum mismatch, missing sidecar).
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError``
+    handlers (and the CLI's exit-2 mapping) keep working -- the
+    backward-compatible alias for code written against the PR-4 API.
+    """
+
+
+class ArtifactCorruptionError(ArtifactError):
+    """An artifact's content disagrees with its recorded checksum.
+
+    The strongest validation failure: the bytes on disk are not the
+    bytes that were published (bit rot, torn copy, tampering, a writer
+    bypassing the atomic path).  Readers must not use the content;
+    the model registry responds by quarantining the artifact and
+    falling back to the last known-good version.
+    """
 
 
 @contextmanager
@@ -155,8 +177,9 @@ def verify_artifact(path: PathLike, expected: Optional[str] = None) -> str:
 
     ``expected=None`` reads the ``<name>.sha256`` sidecar written by
     :func:`write_checksum`.  Raises :class:`ArtifactError` when the
-    sidecar is missing or unparsable, or when digests disagree --
-    readers call this before trusting a restored artifact.
+    sidecar is missing, and :class:`ArtifactCorruptionError` when the
+    sidecar is unparsable or the digests disagree -- readers call this
+    before trusting a restored artifact.
     """
     path = Path(path)
     if expected is None:
@@ -168,11 +191,13 @@ def verify_artifact(path: PathLike, expected: Optional[str] = None) -> str:
             )
         fields = sidecar.read_text(encoding="utf-8").split()
         if not fields or len(fields[0]) != 64:
-            raise ArtifactError(f"{sidecar}: unparsable checksum sidecar")
+            raise ArtifactCorruptionError(
+                f"{sidecar}: unparsable checksum sidecar"
+            )
         expected = fields[0]
     actual = file_checksum(path)
     if actual != expected:
-        raise ArtifactError(
+        raise ArtifactCorruptionError(
             f"{path}: checksum mismatch (expected {expected[:12]}..., "
             f"got {actual[:12]}...); the artifact is corrupt or was "
             "replaced outside the atomic-write path"

@@ -1,0 +1,239 @@
+"""Serving health: readiness states, fallback levels, audited transitions.
+
+A serving process is useful to its callers only if it can answer two
+questions honestly: *should you send me traffic?* (readiness) and *how
+much should you trust what I return?* (degradation).  This module keeps
+both answers in one auditable place:
+
+* :class:`ServiceState` -- the readiness/liveness state machine
+  (``STARTING -> READY <-> DEGRADED -> DRAINING``), with the legal
+  edges enforced so a bug cannot teleport a draining service back to
+  ready without an explicit recovery path,
+* :class:`FallbackLevel` -- how far down the model fallback chain the
+  service currently sits (current model, last-known-good registry
+  version, parametric fallback, outright rejection),
+* :class:`ReasonCode` -- the closed vocabulary of *why* a transition or
+  downgrade happened; every state change and every fallback step is
+  recorded as a :class:`StateTransition` carrying one of these codes,
+  which is what lets the soak harness assert "every downgrade has a
+  recorded reason" instead of trusting log grep.
+
+The machine itself holds no model -- :class:`~repro.serve.service.
+VminServingService` drives it from registry and monitor verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "FallbackLevel",
+    "HealthStateMachine",
+    "IllegalTransition",
+    "ReasonCode",
+    "ServiceState",
+    "StateTransition",
+]
+
+
+class ServiceState(enum.Enum):
+    """Readiness of the serving process, coarsest first.
+
+    ``STARTING``: loading/verifying a model; not accepting traffic.
+    ``READY``: serving the current model at nominal quality.
+    ``DEGRADED``: still serving, but below nominal -- coverage alarm in
+    force, or running on a rollback / parametric fallback.
+    ``DRAINING``: finishing in-flight requests, admitting nothing new;
+    terminal.
+    """
+
+    STARTING = "starting"
+    READY = "ready"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+
+
+class FallbackLevel(enum.IntEnum):
+    """Position in the model fallback chain, best (0) to worst (3).
+
+    Ordered so callers can compare: any level above ``CURRENT`` is a
+    downgrade, and :class:`~repro.serve.service.VminServingService`
+    walks the chain strictly downward within one recovery attempt.
+    """
+
+    CURRENT = 0
+    LAST_KNOWN_GOOD = 1
+    PARAMETRIC = 2
+    REJECT = 3
+
+
+class ReasonCode(enum.Enum):
+    """Why a state change or fallback step happened -- the audit vocabulary.
+
+    A closed enum rather than free-form strings so the soak harness and
+    CI can assert exact reasons; ``detail`` on the transition carries
+    the human-readable specifics.
+    """
+
+    STARTUP_COMPLETE = "startup_complete"
+    MODEL_VERIFIED = "model_verified"
+    COVERAGE_ALARM = "coverage_alarm"
+    COVERAGE_RECOVERED = "coverage_recovered"
+    ARTIFACT_CORRUPT = "artifact_corrupt"
+    ROLLED_BACK = "rolled_back"
+    PARAMETRIC_FALLBACK = "parametric_fallback"
+    RECALIBRATED = "recalibrated"
+    HOT_SWAP = "hot_swap"
+    OVERLOAD = "overload"
+    DRAIN_REQUESTED = "drain_requested"
+
+
+@dataclass(frozen=True)
+class StateTransition:
+    """One audited state change: edge, reason, context, wall clock.
+
+    Attributes
+    ----------
+    from_state, to_state:
+        The edge taken.  Self-loops are legal and used to record
+        *reasons* that do not change readiness (e.g. a hot-swap while
+        ``READY``).
+    reason:
+        The :class:`ReasonCode` that justified the edge.
+    detail:
+        Free-form specifics (version names, coverage figures).
+    timestamp:
+        ``time.time()`` at recording -- operational context only;
+        ordering assertions should use list position, which is
+        deterministic.
+    """
+
+    from_state: ServiceState
+    to_state: ServiceState
+    reason: ReasonCode
+    detail: str
+    timestamp: float
+
+    def describe(self) -> str:
+        """Human-readable one-line audit entry."""
+        arrow = (
+            f"{self.from_state.value} -> {self.to_state.value}"
+            if self.from_state is not self.to_state
+            else self.from_state.value
+        )
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{self.reason.value}] {arrow}{suffix}"
+
+
+class IllegalTransition(RuntimeError):
+    """A state change outside the machine's legal edge set.
+
+    Raised instead of silently recording, because an illegal edge means
+    the *service logic* is wrong -- e.g. re-admitting traffic after a
+    drain -- and must fail loudly in tests rather than corrupt the
+    audit trail.
+    """
+
+
+_LEGAL_EDGES: Dict[ServiceState, FrozenSet[ServiceState]] = {
+    ServiceState.STARTING: frozenset(
+        {ServiceState.STARTING, ServiceState.READY, ServiceState.DEGRADED,
+         ServiceState.DRAINING}
+    ),
+    ServiceState.READY: frozenset(
+        {ServiceState.READY, ServiceState.DEGRADED, ServiceState.DRAINING}
+    ),
+    ServiceState.DEGRADED: frozenset(
+        {ServiceState.DEGRADED, ServiceState.READY, ServiceState.DRAINING}
+    ),
+    # DRAINING is terminal: only self-loops (audit entries while the
+    # queue empties) are allowed.
+    ServiceState.DRAINING: frozenset({ServiceState.DRAINING}),
+}
+
+
+class HealthStateMachine:
+    """The audited readiness machine a serving process reports through.
+
+    Starts in :attr:`ServiceState.STARTING`.  Every change goes through
+    :meth:`transition`, which validates the edge against the legal set
+    and appends a :class:`StateTransition` to :attr:`transitions_` --
+    including self-loops, so "why are we still degraded" has an answer.
+    """
+
+    def __init__(self) -> None:
+        self.state = ServiceState.STARTING
+        self.transitions_: List[StateTransition] = []
+
+    @property
+    def ready(self) -> bool:
+        """Whether the service should receive traffic at all."""
+        return self.state in (ServiceState.READY, ServiceState.DEGRADED)
+
+    @property
+    def nominal(self) -> bool:
+        """Whether the service is at full advertised quality."""
+        return self.state is ServiceState.READY
+
+    def transition(
+        self, to_state: ServiceState, reason: ReasonCode, detail: str = ""
+    ) -> StateTransition:
+        """Take one edge, validate it, record it, return the record.
+
+        Raises :class:`IllegalTransition` for edges outside the legal
+        set (e.g. anything out of ``DRAINING``).
+        """
+        if to_state not in _LEGAL_EDGES[self.state]:
+            raise IllegalTransition(
+                f"illegal transition {self.state.value} -> {to_state.value} "
+                f"(reason {reason.value})"
+            )
+        record = StateTransition(
+            from_state=self.state,
+            to_state=to_state,
+            reason=reason,
+            detail=detail,
+            timestamp=time.time(),
+        )
+        self.state = to_state
+        self.transitions_.append(record)
+        return record
+
+    def note(self, reason: ReasonCode, detail: str = "") -> StateTransition:
+        """Record a reason without changing state (audit self-loop)."""
+        return self.transition(self.state, reason, detail)
+
+    def downgrades(self) -> Tuple[StateTransition, ...]:
+        """Every recorded transition that reduced quality or readiness.
+
+        A downgrade is an edge into ``DEGRADED``/``DRAINING`` or any
+        entry whose reason is inherently a loss event (corruption,
+        rollback, parametric fallback, overload, coverage alarm) -- the
+        set the soak harness audits for mandatory reason codes.
+        """
+        loss_reasons = {
+            ReasonCode.COVERAGE_ALARM,
+            ReasonCode.ARTIFACT_CORRUPT,
+            ReasonCode.ROLLED_BACK,
+            ReasonCode.PARAMETRIC_FALLBACK,
+            ReasonCode.OVERLOAD,
+        }
+        return tuple(
+            record
+            for record in self.transitions_
+            if record.reason in loss_reasons
+            or (
+                record.to_state
+                in (ServiceState.DEGRADED, ServiceState.DRAINING)
+                and record.from_state is not record.to_state
+            )
+        )
+
+    def history(self, reason: Optional[ReasonCode] = None) -> Tuple[StateTransition, ...]:
+        """The transition log, optionally filtered to one reason code."""
+        if reason is None:
+            return tuple(self.transitions_)
+        return tuple(r for r in self.transitions_ if r.reason is reason)

@@ -260,3 +260,94 @@ class TestGridCommand:
         )
         assert code == 0
         assert "0 retried" in capsys.readouterr().out
+
+    def test_tampered_dataset_is_error_not_served(self, cli_lot, tmp_path, capsys):
+        # generate writes a checksum sidecar; a lot whose bytes no
+        # longer match it must be refused before any model sees it.
+        tampered = tmp_path / "lot.npz"
+        tampered.write_bytes(b"\xff" * 16 + cli_lot.read_bytes()[16:])
+        (tmp_path / "lot.npz.sha256").write_text(
+            (cli_lot.parent / "lot.npz.sha256").read_text()
+        )
+        code = main(_grid_args(tampered))
+        assert code == 2
+        assert "mismatch" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def serve_lot(tmp_path_factory):
+    """A lot big enough for the serving flow's train/calibration split."""
+    path = tmp_path_factory.mktemp("serve-lot") / "lot.npz"
+    assert main(["generate", str(path), "--chips", "156", "--seed", "9"]) == 0
+    return path
+
+
+def _serve_args(registry, serve_lot, *extra):
+    return [
+        "serve",
+        str(registry),
+        "--dataset",
+        str(serve_lot),
+        "--trees",
+        "10",
+        *extra,
+    ]
+
+
+class TestServeCommand:
+    def test_bootstrap_publishes_and_serves_ready(
+        self, serve_lot, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry"
+        code = main(_serve_args(registry, serve_lot, "--bootstrap"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bootstrapped registry: published v0001" in out
+        assert "served" in out and "v0001" in out
+        assert "service state: ready" in out
+
+    def test_existing_registry_serves_without_bootstrap(
+        self, serve_lot, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry"
+        assert main(_serve_args(registry, serve_lot, "--bootstrap")) == 0
+        capsys.readouterr()
+        code = main(_serve_args(registry, serve_lot))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bootstrapped" not in out
+        assert "served" in out and "coverage" in out
+
+    def test_empty_registry_without_bootstrap_is_error(
+        self, serve_lot, tmp_path, capsys
+    ):
+        code = main(_serve_args(tmp_path / "registry", serve_lot))
+        assert code == 2
+        assert "--bootstrap" in capsys.readouterr().err
+
+    def test_corrupt_only_version_is_error_with_quarantine(
+        self, serve_lot, tmp_path, capsys
+    ):
+        registry = tmp_path / "registry"
+        assert main(_serve_args(registry, serve_lot, "--bootstrap")) == 0
+        capsys.readouterr()
+        bundle = registry / "versions" / "v0001" / "bundle.pkl"
+        bundle.write_bytes(b"\x00" * 64 + bundle.read_bytes()[64:])
+        code = main(_serve_args(registry, serve_lot))
+        assert code == 2
+        assert "no servable version" in capsys.readouterr().err
+        assert (registry / "quarantine" / "v0001").is_dir()
+
+    def test_bad_read_point_is_usage_error(self, serve_lot, tmp_path, capsys):
+        code = main(
+            _serve_args(tmp_path / "registry", serve_lot, "--hours", "77")
+        )
+        assert code == 2
+        assert "read point" in capsys.readouterr().err
+
+    def test_bad_holdout_is_usage_error(self, serve_lot, tmp_path, capsys):
+        code = main(
+            _serve_args(tmp_path / "registry", serve_lot, "--holdout", "0.999")
+        )
+        assert code == 2
+        assert "holdout" in capsys.readouterr().err

@@ -150,8 +150,6 @@ class TestServing:
             flow.predict_interval(Xh[:, :5])
         with pytest.raises(ValueError, match="2-D"):
             flow.predict_interval(Xh[0])
-        with pytest.raises(ValueError, match="at least one sample"):
-            flow.predict_interval(Xh[:0])
 
     def test_unfitted_raises(self, serving_stack):
         _, Xh, _ = serving_stack
@@ -178,6 +176,45 @@ class TestServing:
     def test_guaranteed_coverage_passthrough(self, serving_stack):
         flow, _, _ = serving_stack
         assert flow.guaranteed_coverage_ >= 1.0 - flow.alpha
+
+
+class TestServingEdgeCases:
+    """Batch shapes a serving layer legitimately produces must be no-ops."""
+
+    def test_empty_batch_serves_zero_intervals(self, serving_stack):
+        flow, Xh, _ = serving_stack
+        prediction = flow.predict_interval(np.empty((0, D)))
+        assert isinstance(prediction, DegradedPrediction)
+        assert len(prediction) == 0
+        assert prediction.status is DegradationStatus.OK
+        assert prediction.lower.shape == prediction.upper.shape == (0,)
+        assert any("empty batch" in note for note in prediction.notes)
+
+    def test_empty_batch_with_wrong_width_still_raises(self, serving_stack):
+        # Zero rows do not excuse a structural error: the column count
+        # is an integration contract, checked before the no-op path.
+        flow, _, _ = serving_stack
+        with pytest.raises(ValueError, match="features"):
+            flow.predict_interval(np.empty((0, D - 1)))
+
+    def test_fully_damaged_batch_still_answers(self, serving_stack):
+        flow, Xh, _ = serving_stack
+        damaged = np.full_like(Xh, np.nan)
+        prediction = flow.predict_interval(damaged)
+        assert len(prediction) == Xh.shape[0]
+        assert np.isfinite(prediction.lower).all()
+        assert np.isfinite(prediction.upper).all()
+        assert prediction.status is not DegradationStatus.OK
+        assert prediction.inflation > 1.0
+
+    def test_observe_zero_labels_is_noop(self):
+        X, y = _make_data(seed=5)
+        flow = _fit_flow(X, y)
+        before = flow.monitor_.n_observed
+        assert flow.observe(np.empty((0, D)), np.empty(0)) is None
+        assert flow.monitor_.n_observed == before
+        assert flow.recalibrations_ == 0
+        assert not flow.adaptive_active
 
 
 class TestObserveAndRecalibration:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.robust.monitoring import CoverageMonitor
+from repro.robust.monitoring import CoverageMonitor, CoverageTransition
 
 
 class TestCoverageMonitor:
@@ -92,6 +92,60 @@ class TestCoverageMonitor:
         assert first is not None
         assert first is monitor.alarms_[0]
         assert len(monitor.alarms_) == 2
+
+    def test_transition_history_pairs_enter_and_exit(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.1, min_observations=10
+        )
+        monitor.update([False] * 20)   # breach
+        monitor.update([True] * 30)    # full recovery
+        monitor.update([False] * 10)   # second breach, never recovers
+        kinds = [t.kind for t in monitor.transitions_]
+        assert kinds == ["enter", "exit", "enter"]
+        assert monitor.in_alarm_
+        enter, exit_, _ = monitor.transitions_
+        assert isinstance(enter, CoverageTransition)
+        assert enter.at_observation < exit_.at_observation
+        assert enter.rolling_coverage < enter.threshold
+        assert exit_.rolling_coverage >= monitor.target_coverage
+
+    def test_transitions_match_alarms(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.05, min_observations=10
+        )
+        monitor.update([False] * 30)
+        # A sustained breach is one alarm and exactly one enter event,
+        # located at the same observation.
+        enters = [t for t in monitor.transitions_ if t.kind == "enter"]
+        assert len(enters) == len(monitor.alarms_) == 1
+        assert enters[0].at_observation == monitor.alarms_[0].at_observation
+
+    def test_oscillation_below_target_is_one_transition(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.1, min_observations=10
+        )
+        monitor.update([False] * 20)
+        # Partial recovery (above threshold, below target) must not
+        # record an exit: hysteresis keeps the alarm entered.
+        monitor.update([True] * 8 + [False] * 2)
+        assert [t.kind for t in monitor.transitions_] == ["enter"]
+        assert monitor.in_alarm_
+
+    def test_healthy_stream_records_no_transitions(self):
+        monitor = CoverageMonitor(target_coverage=0.9, window=20, tolerance=0.05)
+        monitor.update(([True] * 9 + [False]) * 50)
+        assert monitor.transitions_ == []
+
+    def test_transition_describe_is_readable(self):
+        monitor = CoverageMonitor(
+            target_coverage=0.9, window=10, tolerance=0.1, min_observations=10
+        )
+        monitor.update([False] * 20)
+        monitor.update([True] * 30)
+        entered, exited = monitor.transitions_
+        assert "entered alarm state" in entered.describe()
+        assert "exited alarm state" in exited.describe()
+        assert "80.0%" in entered.describe()  # the hysteresis threshold
 
     def test_scalar_and_array_updates_agree(self):
         a = CoverageMonitor(window=5, min_observations=3)

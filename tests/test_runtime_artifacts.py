@@ -8,6 +8,7 @@ import os
 import pytest
 
 from repro.runtime.artifacts import (
+    ArtifactCorruptionError,
     ArtifactError,
     atomic_path,
     atomic_write,
@@ -136,6 +137,45 @@ class TestChecksums:
         digest = file_checksum(target)
         assert verify_artifact(target, expected=digest) == digest
         with pytest.raises(ArtifactError, match="mismatch"):
+            verify_artifact(target, expected="0" * 64)
+
+
+class TestCorruptionTaxonomy:
+    """The split between *unverifiable* and *provably corrupt* artifacts.
+
+    The model registry keys its quarantine decision on this hierarchy,
+    and the CLI keys exit code 2 on the ``ValueError`` root.
+    """
+
+    def test_corruption_error_is_an_artifact_error(self):
+        assert issubclass(ArtifactCorruptionError, ArtifactError)
+        assert issubclass(ArtifactError, ValueError)
+
+    def test_tampering_raises_the_corruption_subtype(self, tmp_path):
+        target = write_text_atomic(tmp_path / "a.txt", "payload")
+        write_checksum(target)
+        target.write_text("tampered")
+        with pytest.raises(ArtifactCorruptionError, match="mismatch"):
+            verify_artifact(target)
+
+    def test_unparsable_sidecar_is_corruption(self, tmp_path):
+        target = write_text_atomic(tmp_path / "a.txt", "payload")
+        sidecar = write_checksum(target)
+        sidecar.write_text("not-a-digest\n")
+        with pytest.raises(ArtifactCorruptionError, match="unparsable"):
+            verify_artifact(target)
+
+    def test_missing_sidecar_is_not_corruption(self, tmp_path):
+        # Absence of evidence is weaker than evidence of tampering:
+        # a missing sidecar must stay the plain (retry-worthy) error.
+        target = write_text_atomic(tmp_path / "a.txt", "payload")
+        with pytest.raises(ArtifactError, match="sidecar") as excinfo:
+            verify_artifact(target)
+        assert not isinstance(excinfo.value, ArtifactCorruptionError)
+
+    def test_explicit_digest_mismatch_is_corruption(self, tmp_path):
+        target = write_text_atomic(tmp_path / "a.txt", "payload")
+        with pytest.raises(ArtifactCorruptionError):
             verify_artifact(target, expected="0" * 64)
 
 

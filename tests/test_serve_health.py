@@ -1,0 +1,130 @@
+"""Tests for the serving readiness state machine and its audit trail."""
+
+import pytest
+
+from repro.serve import (
+    FallbackLevel,
+    HealthStateMachine,
+    IllegalTransition,
+    ReasonCode,
+    ServiceState,
+)
+
+
+class TestStateMachine:
+    def test_starts_unready(self):
+        machine = HealthStateMachine()
+        assert machine.state is ServiceState.STARTING
+        assert not machine.ready
+        assert not machine.nominal
+        assert machine.transitions_ == []
+
+    def test_startup_to_ready(self):
+        machine = HealthStateMachine()
+        record = machine.transition(
+            ServiceState.READY, ReasonCode.STARTUP_COMPLETE, "serving v0001"
+        )
+        assert machine.state is ServiceState.READY
+        assert machine.ready and machine.nominal
+        assert record.from_state is ServiceState.STARTING
+        assert record.to_state is ServiceState.READY
+        assert record.reason is ReasonCode.STARTUP_COMPLETE
+        assert machine.transitions_ == [record]
+
+    def test_degraded_is_ready_but_not_nominal(self):
+        machine = HealthStateMachine()
+        machine.transition(ServiceState.DEGRADED, ReasonCode.ROLLED_BACK)
+        assert machine.ready
+        assert not machine.nominal
+
+    def test_ready_degraded_roundtrip(self):
+        machine = HealthStateMachine()
+        machine.transition(ServiceState.READY, ReasonCode.STARTUP_COMPLETE)
+        machine.transition(ServiceState.DEGRADED, ReasonCode.COVERAGE_ALARM)
+        machine.transition(ServiceState.READY, ReasonCode.COVERAGE_RECOVERED)
+        assert machine.state is ServiceState.READY
+        assert len(machine.transitions_) == 3
+
+    def test_draining_is_terminal(self):
+        machine = HealthStateMachine()
+        machine.transition(ServiceState.READY, ReasonCode.STARTUP_COMPLETE)
+        machine.transition(ServiceState.DRAINING, ReasonCode.DRAIN_REQUESTED)
+        with pytest.raises(IllegalTransition, match="draining -> ready"):
+            machine.transition(ServiceState.READY, ReasonCode.MODEL_VERIFIED)
+        # Audit self-loops while the queue empties remain legal.
+        machine.note(ReasonCode.DRAIN_REQUESTED, "2 batches in flight")
+        assert machine.state is ServiceState.DRAINING
+
+    def test_ready_cannot_return_to_starting(self):
+        machine = HealthStateMachine()
+        machine.transition(ServiceState.READY, ReasonCode.STARTUP_COMPLETE)
+        with pytest.raises(IllegalTransition):
+            machine.transition(ServiceState.STARTING, ReasonCode.HOT_SWAP)
+        # The illegal attempt must not pollute the audit trail.
+        assert len(machine.transitions_) == 1
+
+    def test_note_records_without_changing_state(self):
+        machine = HealthStateMachine()
+        machine.transition(ServiceState.READY, ReasonCode.STARTUP_COMPLETE)
+        record = machine.note(ReasonCode.HOT_SWAP, "v0001 -> v0002")
+        assert machine.state is ServiceState.READY
+        assert record.from_state is record.to_state
+        assert record.detail == "v0001 -> v0002"
+
+
+class TestAudit:
+    def _exercised(self):
+        machine = HealthStateMachine()
+        machine.transition(ServiceState.READY, ReasonCode.STARTUP_COMPLETE)
+        machine.note(ReasonCode.MODEL_VERIFIED, "v0001 checksum ok")
+        machine.note(ReasonCode.ARTIFACT_CORRUPT, "v0002: digest mismatch")
+        machine.transition(ServiceState.DEGRADED, ReasonCode.ROLLED_BACK)
+        machine.transition(ServiceState.READY, ReasonCode.MODEL_VERIFIED)
+        return machine
+
+    def test_downgrades_capture_loss_events_only(self):
+        machine = self._exercised()
+        reasons = [record.reason for record in machine.downgrades()]
+        # The corrupt-artifact note and the degradation edge are losses;
+        # startup, verification, and the recovery edge are not.
+        assert reasons == [ReasonCode.ARTIFACT_CORRUPT, ReasonCode.ROLLED_BACK]
+
+    def test_every_downgrade_carries_a_reason(self):
+        machine = self._exercised()
+        assert all(
+            record.reason.value for record in machine.downgrades()
+        )
+
+    def test_history_filters_by_reason(self):
+        machine = self._exercised()
+        verified = machine.history(ReasonCode.MODEL_VERIFIED)
+        assert len(verified) == 2
+        assert len(machine.history()) == len(machine.transitions_)
+
+    def test_describe_renders_edge_and_self_loop(self):
+        machine = HealthStateMachine()
+        edge = machine.transition(
+            ServiceState.READY, ReasonCode.STARTUP_COMPLETE, "serving v0001"
+        )
+        loop = machine.note(ReasonCode.HOT_SWAP)
+        assert edge.describe() == (
+            "[startup_complete] starting -> ready: serving v0001"
+        )
+        assert loop.describe() == "[hot_swap] ready"
+
+
+class TestFallbackLevels:
+    def test_levels_order_best_to_worst(self):
+        assert (
+            FallbackLevel.CURRENT
+            < FallbackLevel.LAST_KNOWN_GOOD
+            < FallbackLevel.PARAMETRIC
+            < FallbackLevel.REJECT
+        )
+
+    def test_any_level_above_current_is_a_downgrade(self):
+        assert all(
+            level > FallbackLevel.CURRENT
+            for level in FallbackLevel
+            if level is not FallbackLevel.CURRENT
+        )

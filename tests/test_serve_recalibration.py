@@ -1,0 +1,129 @@
+"""Tests for drift-triggered recalibration and republication."""
+
+import numpy as np
+import pytest
+
+from repro.models import QuantileLinearRegression
+from repro.robust import RobustVminFlow
+from repro.serve import (
+    DriftRecalibrator,
+    ModelRegistry,
+    ReasonCode,
+    VminServingService,
+)
+
+N_PARAMETRIC = 4
+N_MONITORS = 8
+D = N_PARAMETRIC + N_MONITORS
+N_TRAIN = 200
+
+
+def _make_data(n=600, seed=23):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, D))
+    w = np.concatenate(
+        [np.array([2.0, -1.0, 1.5, 1.0]), np.full(N_MONITORS, 0.3)]
+    )
+    y = X @ w + rng.normal(scale=0.5, size=n)
+    return X, y
+
+
+def _started_service(tmp_path, seed=23):
+    X, y = _make_data(seed=seed)
+    flow = RobustVminFlow(
+        base_model=QuantileLinearRegression(),
+        alpha=0.1,
+        random_state=0,
+        monitor_min_observations=10,
+        monitor_window=20,
+    ).fit(
+        X[:N_TRAIN],
+        y[:N_TRAIN],
+        fallback_columns=list(range(N_PARAMETRIC)),
+        monitor_columns=list(range(N_PARAMETRIC, D)),
+    )
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(flow)
+    service = VminServingService(registry)
+    service.start()
+    return service, X[N_TRAIN:], y[N_TRAIN:]
+
+
+class TestTrigger:
+    def test_min_labels_validated(self, tmp_path):
+        service, _, _ = _started_service(tmp_path)
+        with pytest.raises(ValueError, match="min_labels"):
+            DriftRecalibrator(service, min_labels=0)
+
+    def test_empty_ingest_is_noop(self, tmp_path):
+        service, _, _ = _started_service(tmp_path)
+        recalibrator = DriftRecalibrator(service, min_labels=1)
+        assert recalibrator.ingest(np.empty((0, D)), np.empty(0)) is None
+        assert recalibrator.events_ == []
+        assert service.registry.versions() == ["v0001"]
+
+    def test_no_republish_without_drift(self, tmp_path):
+        service, Xh, _ = _started_service(tmp_path)
+        recalibrator = DriftRecalibrator(service, min_labels=20)
+        # Labels at the served interval midpoints: coverage is 100% by
+        # construction, so the monitor can never alarm.
+        for start in range(0, 100, 10):
+            batch = Xh[start : start + 10]
+            prediction = service.served_model.predict_interval(batch)
+            recalibrator.ingest(
+                batch, (prediction.lower + prediction.upper) / 2.0
+            )
+        # Plenty of labels, but the flow never went adaptive: the
+        # registry must not fill up with pointless republications.
+        assert recalibrator.events_ == []
+        assert service.registry.versions() == ["v0001"]
+
+
+class TestRepublication:
+    def _drive_drift(self, tmp_path, min_labels=40):
+        service, Xh, yh = _started_service(tmp_path)
+        recalibrator = DriftRecalibrator(service, min_labels=min_labels)
+        shifted = yh + 2.0
+        events = []
+        for start in range(0, 300, 10):
+            event = recalibrator.ingest(
+                Xh[start : start + 10], shifted[start : start + 10]
+            )
+            if event is not None:
+                events.append(event)
+        return service, recalibrator, events
+
+    def test_drift_republishes_with_lineage(self, tmp_path):
+        service, recalibrator, events = self._drive_drift(tmp_path)
+        assert events, "sustained drift never triggered a republication"
+        first = events[0]
+        assert first.version == "v0002"
+        assert first.parent == "v0001"
+        assert first.n_labels >= recalibrator.min_labels
+        described = service.registry.describe(first.version)
+        assert described.reason == "recalibrated"
+        assert described.parent == "v0001"
+        assert described.manifest["metadata"]["alpha_t"] == pytest.approx(
+            first.alpha_t
+        )
+
+    def test_service_hot_swaps_onto_republished_version(self, tmp_path):
+        service, _, events = self._drive_drift(tmp_path)
+        assert service.model_version == events[-1].version
+        assert service.model_version in service.verified_versions_
+        assert service.health.history(ReasonCode.RECALIBRATED)
+        assert service.health.history(ReasonCode.HOT_SWAP)
+
+    def test_label_budget_resets_between_events(self, tmp_path):
+        _, recalibrator, events = self._drive_drift(tmp_path, min_labels=40)
+        # Each event must stand on its own fresh evidence, so between
+        # consecutive republications at least min_labels accumulated.
+        assert all(e.n_labels >= 40 for e in events)
+        # Immediately after the last event the budget is spent.
+        assert recalibrator.maybe_republish() is None
+
+    def test_event_describe_is_readable(self, tmp_path):
+        _, _, events = self._drive_drift(tmp_path)
+        line = events[0].describe()
+        assert "v0001 -> v0002" in line
+        assert "alpha_t" in line
