@@ -396,6 +396,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(fallback level {result.fallback_level.name}, "
         f"status {prediction.status.value})"
     )
+    # The manifest records which compiled decision-table kernels the
+    # served bundle carries; surface them so "this registry serves
+    # through the fast path" is visible from the command line.
+    if result.model_version is not None:
+        for entry in registry.describe(result.model_version).manifest.get(
+            "compiled", []
+        ):
+            size_key = "n_leaves" if "n_leaves" in entry else "max_nodes"
+            print(
+                "  compiled kernel: {}(n_trees={}, {}={})".format(
+                    entry["kernel"], entry["n_trees"], size_key, entry[size_key]
+                )
+            )
     print(
         f"held-out coverage {prediction.coverage(y[n_train:]):.1%}, "
         f"mean width {prediction.mean_width*1e3:.1f} mV"

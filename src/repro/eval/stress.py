@@ -439,6 +439,11 @@ class ServingStressReport:
         pairs -- the trail the harness checks for completeness.
     final_state:
         The service state at campaign end (``ready`` on success).
+    compiled_kernels:
+        The decision-table kernels recorded in the bootstrap version's
+        manifest (one entry per boosting ensemble in the flow, e.g.
+        ``oblivious(n_trees=100, n_leaves=64)``) -- empty when the
+        published flow holds no compiled ensembles.
     """
 
     n_requests: int
@@ -458,6 +463,7 @@ class ServingStressReport:
     n_quarantined: int
     downgrades: Tuple[Tuple[str, str], ...]
     final_state: str
+    compiled_kernels: Tuple[str, ...] = ()
 
     def ok(self) -> bool:
         """Whether every soak invariant held."""
@@ -489,6 +495,7 @@ class ServingStressReport:
             ["registry versions", self.n_versions],
             ["quarantined", self.n_quarantined],
             ["final state", self.final_state],
+            ["compiled kernels", len(self.compiled_kernels)],
         ]
         table = format_table(
             ["Metric", "Value"], rows, title=title or "Serving soak report"
@@ -577,7 +584,18 @@ def run_serving_campaign(
         )
     root = Path(registry_root)
     registry = ModelRegistry(root)
-    registry.publish(flow, reason="published", metadata={"phase": "bootstrap"})
+    bootstrap = registry.publish(
+        flow, reason="published", metadata={"phase": "bootstrap"}
+    )
+    compiled_kernels = tuple(
+        "{}(n_trees={}, {}={})".format(
+            entry["kernel"],
+            entry["n_trees"],
+            "n_leaves" if "n_leaves" in entry else "max_nodes",
+            entry.get("n_leaves", entry.get("max_nodes")),
+        )
+        for entry in bootstrap.manifest.get("compiled", [])
+    )
     config = ServingConfig(
         max_in_flight=2,
         max_waiting=4,
@@ -727,4 +745,5 @@ def run_serving_campaign(
             for record in service.health.downgrades()
         ),
         final_state=service.state.value,
+        compiled_kernels=compiled_kernels,
     )

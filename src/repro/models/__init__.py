@@ -13,7 +13,10 @@ packages used in the paper (scikit-learn, XGBoost, CatBoost, PyTorch):
 * :mod:`repro.models.quantile` -- the (lower, upper) quantile band regressor
   of paper Eq. (2),
 * :mod:`repro.models.ensemble` -- deep-ensemble uncertainty baseline
-  (Table I comparison row).
+  (Table I comparison row),
+* :mod:`repro.models.tables` -- compiled decision-table inference kernels:
+  fitted tree ensembles flattened into numpy tensors scored batch-at-once,
+  bit-identical to the per-tree reference loop.
 
 All estimators follow a small scikit-learn-like protocol defined in
 :mod:`repro.models.base`: ``fit(X, y) -> self``, ``predict(X) -> ndarray``,
@@ -42,11 +45,19 @@ from repro.models.nn import MLPRegressor
 from repro.models.oblivious import ObliviousBoostingRegressor
 from repro.models.optim import SGD, Adam
 from repro.models.quantile import PackageDefaultQuantileBand, QuantileBandRegressor
+from repro.models.tables import (
+    CompiledDepthwiseTables,
+    CompiledObliviousTables,
+    compile_depthwise,
+    compile_oblivious,
+)
 from repro.models.tree import DecisionTreeRegressor
 
 __all__ = [
     "Adam",
     "BaseRegressor",
+    "CompiledDepthwiseTables",
+    "CompiledObliviousTables",
     "DecisionTreeRegressor",
     "DeepEnsembleRegressor",
     "GaussianProcessRegressor",
@@ -62,6 +73,8 @@ __all__ = [
     "check_X_y",
     "check_fitted",
     "clone",
+    "compile_depthwise",
+    "compile_oblivious",
     "huber_loss",
     "mse_loss",
     "pinball_loss",

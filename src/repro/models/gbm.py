@@ -34,6 +34,7 @@ from repro.models.losses import (
     pinball_gradient_hessian,
     validate_quantile,
 )
+from repro.models.tables import compile_depthwise
 from repro.models.tree import GradientTree, TreeGrowthParams
 
 __all__ = ["GradientBoostingRegressor"]
@@ -157,6 +158,20 @@ class GradientBoostingRegressor(BaseRegressor):
             Stop when the validation loss has not improved for this many
             consecutive rounds, keeping the ensemble truncated at the best
             round (XGBoost semantics).  Requires ``eval_set``.
+
+        Notes
+        -----
+        When early stopping truncates the ensemble, the bookkeeping is
+        truncated with it: ``eval_history_`` keeps exactly one entry per
+        kept tree and ``best_round_ == len(trees_) - 1`` -- the losses of
+        the discarded probe rounds are gone along with their trees, so
+        ``eval_history_[best_round_]`` is always the loss of the last
+        kept round.  A fit that runs to completion keeps the full
+        history (one entry per tree) with ``best_round_`` marking its
+        argmin.  Fitting also compiles the ensemble into flat decision
+        tables (``compiled_``,
+        :class:`~repro.models.tables.CompiledDepthwiseTables`) that
+        ``predict``/``staged_predict`` evaluate batch-at-once.
         """
         X, y = check_X_y(X, y)
         self.n_features_in_ = X.shape[1]
@@ -244,35 +259,71 @@ class GradientBoostingRegressor(BaseRegressor):
                     early_stopping_rounds is not None
                     and round_index - best_round >= early_stopping_rounds
                 ):
+                    # Discarded probe rounds take their losses with them:
+                    # after truncation, eval_history_ has one entry per
+                    # kept tree and best_round_ is the last kept index.
                     trees = trees[: best_round + 1]
+                    eval_history = eval_history[: best_round + 1]
                     break
 
         self.trees_ = trees
         self.eval_history_ = eval_history
         self.best_round_ = best_round if X_val is not None else None
+        self.compiled_ = compile_depthwise(trees)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Boosted prediction for every row of ``X``.
+
+        Scores through the compiled decision-table kernel when the fit
+        produced one (``compiled_``), falling back to the per-tree
+        reference loop for models unpickled from older bundles.  The two
+        paths are bit-identical; comparisons always happen in float64
+        regardless of the dtype of ``X``.
+        """
         check_fitted(self, "trees_")
+        X = self._check_predict_X(X)
+        compiled = getattr(self, "compiled_", None)
+        if compiled is not None:
+            return compiled.predict(X, self.base_score_, self.learning_rate)
+        return self._predict_loop(X)
+
+    def staged_predict(self, X: np.ndarray) -> np.ndarray:
+        """Predictions after each boosting round, shape (n_estimators, n).
+
+        Useful for picking an early-stopping round and for the learning-
+        curve diagnostics in the benchmarks.  Uses the compiled kernel
+        when available, like :meth:`predict`; the last stage always
+        equals ``predict(X)`` exactly.
+        """
+        check_fitted(self, "trees_")
+        X = self._check_predict_X(X)
+        compiled = getattr(self, "compiled_", None)
+        if compiled is not None:
+            return compiled.staged_predict(
+                X, self.base_score_, self.learning_rate
+            )
+        return self._staged_predict_loop(X)
+
+    def _check_predict_X(self, X: np.ndarray) -> np.ndarray:
         X = check_X(X)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self.n_features_in_}"
             )
+        return X
+
+    def _predict_loop(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree accumulation: the parity oracle for
+        ``compiled_`` and the fallback for pre-kernel pickles."""
         prediction = np.full(X.shape[0], self.base_score_)
         for tree in self.trees_:
             prediction += self.learning_rate * tree.predict(X)
         return prediction
 
-    def staged_predict(self, X: np.ndarray) -> np.ndarray:
-        """Predictions after each boosting round, shape (n_estimators, n).
-
-        Useful for picking an early-stopping round and for the learning-
-        curve diagnostics in the benchmarks.
-        """
-        check_fitted(self, "trees_")
-        X = check_X(X)
+    def _staged_predict_loop(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-round accumulation matching ``_predict_loop``."""
         prediction = np.full(X.shape[0], self.base_score_)
         stages = np.empty((len(self.trees_), X.shape[0]))
         for i, tree in enumerate(self.trees_):

@@ -218,4 +218,5 @@ def grow_histogram_tree(
     tree.left_ = np.asarray(buffers.left, dtype=np.int64)
     tree.right_ = np.asarray(buffers.right, dtype=np.int64)
     tree.value_ = np.asarray(buffers.value, dtype=np.float64)
+    tree.n_features_in_ = int(n_features)
     return tree

@@ -39,6 +39,7 @@ from repro.models.losses import (
     pinball_gradient_hessian,
     validate_quantile,
 )
+from repro.models.tables import compile_oblivious
 
 __all__ = ["ObliviousBoostingRegressor", "ObliviousTree"]
 
@@ -50,6 +51,11 @@ class ObliviousTree:
     ``leaf_values`` has :math:`2^{\\text{depth}}` entries indexed by the
     binary code built from the level tests (most significant bit = first
     level).
+
+    A depth-0 table (``features`` empty, a single leaf value) is a valid
+    tree -- a fit round where no split improved on not splitting
+    produces one -- and is handled here, not by callers: every row's
+    leaf code is 0 and every prediction is ``leaf_values[0]``.
     """
 
     features: np.ndarray  # (depth,) int
@@ -57,13 +63,22 @@ class ObliviousTree:
     leaf_values: np.ndarray  # (2**depth,) float
 
     def leaf_indices(self, X: np.ndarray) -> np.ndarray:
-        """Leaf code for every row of ``X``."""
+        """Leaf code for every row of ``X``.
+
+        Comparisons happen in float64 whatever the dtype of ``X``: the
+        thresholds are float64, and letting a float32 column be compared
+        in its own precision could route boundary-straddling rows to the
+        other side of a split than the fitted model intended.  For a
+        depth-0 table this is all zeros (the single leaf).
+        """
+        X = np.asarray(X, dtype=np.float64)
         indices = np.zeros(X.shape[0], dtype=np.int64)
         for feature, threshold in zip(self.features, self.thresholds):
             indices = (indices << 1) | (X[:, feature] > threshold)
         return indices
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf value for every row of ``X`` (depth-0 tables included)."""
         return self.leaf_values[self.leaf_indices(X)]
 
 
@@ -377,44 +392,66 @@ class ObliviousBoostingRegressor(BaseRegressor):
             prediction += self.learning_rate * leaf_values[leaf_idx]
 
         self.trees_ = trees
+        self.compiled_ = compile_oblivious(trees)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Boosted prediction for every row of ``X``.
+
+        Scores through the compiled decision-table kernel when the fit
+        produced one (``compiled_``,
+        :class:`~repro.models.tables.CompiledObliviousTables`), falling
+        back to the per-tree reference loop for models unpickled from
+        older bundles.  The two paths are bit-identical; comparisons
+        always happen in float64 regardless of the dtype of ``X``.
+        """
         check_fitted(self, "trees_")
-        X = check_X(X)
-        if X.shape[1] != self.n_features_in_:
-            raise ValueError(
-                f"X has {X.shape[1]} features, model was fitted with "
-                f"{self.n_features_in_}"
-            )
-        prediction = np.full(X.shape[0], self.base_score_)
-        for tree in self.trees_:
-            if tree.features.size == 0:
-                prediction += self.learning_rate * tree.leaf_values[0]
-            else:
-                prediction += self.learning_rate * tree.predict(X)
-        return prediction
+        X = self._check_predict_X(X)
+        compiled = getattr(self, "compiled_", None)
+        if compiled is not None:
+            return compiled.predict(X, self.base_score_, self.learning_rate)
+        return self._predict_loop(X)
 
     def staged_predict(self, X: np.ndarray) -> np.ndarray:
         """Predictions after each boosting round, shape (n_trees, n).
 
         Mirrors :meth:`GradientBoostingRegressor.staged_predict`; used by
-        convergence diagnostics.
+        convergence diagnostics.  The last stage always equals
+        ``predict(X)`` exactly.
         """
         check_fitted(self, "trees_")
+        X = self._check_predict_X(X)
+        compiled = getattr(self, "compiled_", None)
+        if compiled is not None:
+            return compiled.staged_predict(
+                X, self.base_score_, self.learning_rate
+            )
+        return self._staged_predict_loop(X)
+
+    def _check_predict_X(self, X: np.ndarray) -> np.ndarray:
         X = check_X(X)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features, model was fitted with "
                 f"{self.n_features_in_}"
             )
+        return X
+
+    def _predict_loop(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree accumulation: the parity oracle for
+        ``compiled_`` and the fallback for pre-kernel pickles.  Depth-0
+        tables predict like any other tree (see :class:`ObliviousTree`)."""
+        prediction = np.full(X.shape[0], self.base_score_)
+        for tree in self.trees_:
+            prediction += self.learning_rate * tree.predict(X)
+        return prediction
+
+    def _staged_predict_loop(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-round accumulation matching ``_predict_loop``."""
         prediction = np.full(X.shape[0], self.base_score_)
         stages = np.empty((len(self.trees_), X.shape[0]))
         for i, tree in enumerate(self.trees_):
-            if tree.features.size == 0:
-                prediction = prediction + self.learning_rate * tree.leaf_values[0]
-            else:
-                prediction = prediction + self.learning_rate * tree.predict(X)
+            prediction = prediction + self.learning_rate * tree.predict(X)
             stages[i] = prediction
         return stages
 

@@ -314,6 +314,7 @@ class GradientTree:
         self.left_: Optional[np.ndarray] = None
         self.right_: Optional[np.ndarray] = None
         self.value_: Optional[np.ndarray] = None
+        self.n_features_in_: Optional[int] = None
 
     # -- growing ----------------------------------------------------------
     def _grow(
@@ -420,6 +421,7 @@ class GradientTree:
 
         self._grow(X.shape[0], gradients, hessians, find_split)
         del self._columns
+        self.n_features_in_ = int(X.shape[1])
         return self
 
     def fit_binned(
@@ -475,14 +477,32 @@ class GradientTree:
 
         self._grow(binned.shape[0], gradients, hessians, find_split)
         del self._columns
+        self.n_features_in_ = int(binned.shape[1])
         return self
 
     # -- prediction --------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Leaf value for every row of ``X``."""
+        """Leaf value for every row of ``X``.
+
+        ``X`` is compared in float64 against the stored float64
+        thresholds regardless of its input dtype, and its width is
+        validated against the fitted feature count: extra columns used
+        to score silently while missing ones raised a bare
+        ``IndexError`` mid-walk.  Trees unpickled from bundles that
+        predate the recorded width skip the check (``n_features_in_``
+        absent) rather than refusing to predict.
+        """
         if self.feature_ is None:
             raise RuntimeError("GradientTree is not fitted")
         X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n_expected = getattr(self, "n_features_in_", None)
+        if n_expected is not None and X.shape[1] != n_expected:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree was fitted with "
+                f"{n_expected}"
+            )
         node_ids = np.zeros(X.shape[0], dtype=np.int64)
         active = self.feature_[node_ids] != _LEAF
         while np.any(active):

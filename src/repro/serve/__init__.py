@@ -20,13 +20,19 @@ has been fitted.  Four layers, each usable on its own:
   ``READY <-> DEGRADED``;
 * :mod:`repro.serve.recalibration` -- :class:`DriftRecalibrator`,
   which makes the flow's in-memory Gibbs-Candès recalibration durable
-  by republishing the adapted flow as a new registry version.
+  by republishing the adapted flow as a new registry version;
+* :mod:`repro.serve.compiled` -- the decision-table kernel adapter:
+  :func:`ensure_compiled` upgrades loaded bundles onto the batch-at-once
+  inference kernels of :mod:`repro.models.tables`, and
+  :func:`compiled_summary` records the kernels in every published
+  manifest.
 
 The soak harness (:func:`repro.eval.stress.run_serving_campaign`)
 exercises all four under injected artifact corruption, worker crashes,
 and covariate drift; ``python -m repro serve`` is the CLI entry point.
 """
 
+from repro.serve.compiled import compiled_summary, ensure_compiled
 from repro.serve.health import (
     FallbackLevel,
     HealthStateMachine,
@@ -68,4 +74,6 @@ __all__ = [
     "ServingResult",
     "StateTransition",
     "VminServingService",
+    "compiled_summary",
+    "ensure_compiled",
 ]

@@ -55,6 +55,7 @@ from repro.runtime.artifacts import (
     write_json_atomic,
     write_text_atomic,
 )
+from repro.serve.compiled import compiled_summary, ensure_compiled
 
 __all__ = ["MANIFEST_SCHEMA_VERSION", "ModelRegistry", "ModelVersion", "RegistryError"]
 
@@ -222,6 +223,17 @@ class ModelRegistry:
             lineage); validated against the registry when given.
         metadata:
             Free-form JSON-serialisable extras for the manifest.
+
+        Notes
+        -----
+        Publishing compiles the model's boosting ensembles into
+        decision-table kernels first
+        (:func:`~repro.serve.compiled.ensure_compiled`), so the pickled
+        bundle is self-contained: a service that loads it scores
+        batch-at-once without recompiling.  The manifest's ``compiled``
+        key records the kernels (one summary per ensemble; empty for
+        models without any), making the scoring path auditable without
+        unpickling the bundle.
         """
         with self._lock:
             if parent is not None and not (self.versions_dir / parent).is_dir():
@@ -238,6 +250,7 @@ class ModelRegistry:
             path = self.versions_dir / name
             path.mkdir(parents=False, exist_ok=False)
 
+            ensure_compiled(model)
             bundle_path = path / _BUNDLE_NAME
             with atomic_path(bundle_path) as tmp:
                 tmp.write_bytes(pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL))
@@ -250,6 +263,7 @@ class ModelRegistry:
                 "parent": parent,
                 "published_at": time.time(),
                 "metadata": dict(metadata) if metadata else {},
+                "compiled": compiled_summary(model),
             }
             manifest_path = write_json_atomic(path / _MANIFEST_NAME, manifest)
             write_checksum(manifest_path)

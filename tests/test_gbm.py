@@ -140,6 +140,34 @@ class TestEarlyStopping:
         # Ensemble truncated at the best validation round.
         assert len(model.trees_) == model.best_round_ + 1
 
+    def test_truncation_aligns_history_and_best_round(self, rng):
+        """A truncating early stop discards the probe rounds' bookkeeping
+        along with their trees: one eval_history_ entry per kept tree and
+        best_round_ pointing at the last kept round."""
+        X = rng.normal(size=(80, 3))
+        y = rng.normal(size=80)
+        X_val = rng.normal(size=(40, 3))
+        y_val = rng.normal(size=40)
+        model = GradientBoostingRegressor(
+            n_estimators=200, learning_rate=0.5, random_state=0
+        ).fit(X, y, eval_set=(X_val, y_val), early_stopping_rounds=5)
+        assert len(model.eval_history_) == len(model.trees_)
+        assert model.best_round_ == len(model.trees_) - 1
+        assert model.eval_history_[model.best_round_] == min(model.eval_history_)
+
+    def test_truncated_staged_predict_matches_predict_exactly(self, rng):
+        X = rng.normal(size=(80, 3))
+        y = rng.normal(size=80)
+        X_val = rng.normal(size=(40, 3))
+        y_val = rng.normal(size=40)
+        model = GradientBoostingRegressor(
+            n_estimators=200, learning_rate=0.5, random_state=0
+        ).fit(X, y, eval_set=(X_val, y_val), early_stopping_rounds=5)
+        Xte = rng.normal(size=(25, 3))
+        stages = model.staged_predict(Xte)
+        assert stages.shape[0] == len(model.trees_)
+        assert np.array_equal(stages[-1], model.predict(Xte))
+
     def test_early_stopping_requires_eval_set(self, boost_data):
         Xtr, ytr, *_ = boost_data
         with pytest.raises(ValueError, match="requires an eval_set"):

@@ -36,6 +36,37 @@ class TestObliviousTree:
         # value 0.5: above 0.0, below 1.0 -> code 0b10 = 2
         assert tree.predict(np.array([[0.5]]))[0] == 2.0
 
+    def test_depth_zero_table_is_a_valid_tree(self):
+        """The tree itself owns the degenerate single-leaf case; callers
+        need no special-casing."""
+        tree = ObliviousTree(
+            features=np.empty(0, dtype=np.int64),
+            thresholds=np.empty(0),
+            leaf_values=np.array([4.5]),
+        )
+        X = np.ones((3, 2))
+        np.testing.assert_array_equal(
+            tree.leaf_indices(X), np.zeros(3, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(tree.predict(X), np.full(3, 4.5))
+        assert tree.predict(np.empty((0, 2))).shape == (0,)
+
+    def test_leaf_indices_compare_in_float64(self):
+        """A float32 row must land on the same side of a split as its
+        float64 widening -- thresholds are float64 and so is the
+        comparison."""
+        threshold = 1.0 + 3.0 * 2.0**-25  # rounds UP to 1 + 2**-23 in float32
+        tree = ObliviousTree(
+            features=np.array([0], dtype=np.int64),
+            thresholds=np.array([threshold]),
+            leaf_values=np.array([10.0, 20.0]),
+        )
+        X32 = np.array([[1.0 + 2.0**-23]], dtype=np.float32)
+        assert tree.leaf_indices(X32)[0] == 1
+        np.testing.assert_array_equal(
+            tree.predict(X32), tree.predict(X32.astype(np.float64))
+        )
+
 
 class TestPointObjective:
     def test_fits_nonlinear_signal(self, boost_data):
@@ -167,6 +198,21 @@ class TestStagedPredict:
 
 
 class TestRegressionGuards:
+    def test_zero_split_fit_serves_the_constant(self, rng):
+        """A fit where no round finds a split yields all depth-0 tables;
+        predict and staged_predict must serve them like any other tree
+        (the regressor no longer special-cases them inline)."""
+        X = rng.normal(size=(40, 3))
+        y = np.full(40, -1.75)
+        model = ObliviousBoostingRegressor(n_estimators=4, random_state=0).fit(
+            X, y
+        )
+        assert all(tree.features.size == 0 for tree in model.trees_)
+        Xte = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(model.predict(Xte), -1.75)
+        stages = model.staged_predict(Xte)
+        np.testing.assert_array_equal(stages[-1], model.predict(Xte))
+
     def test_quantile_mode_actually_splits(self, boost_data):
         """Regression guard: the no-split baseline must be computed once
         per leaf set, not summed over candidate features -- the inflated

@@ -87,6 +87,33 @@ class TestGradientTree:
         with pytest.raises(RuntimeError, match="not fitted"):
             GradientTree().predict(np.zeros((2, 2)))
 
+    def test_predict_validates_feature_width(self):
+        """The raw tree rejects mismatched X width with a clear error:
+        extra columns used to score silently and missing columns died
+        with a bare IndexError mid-walk."""
+        X = np.column_stack([np.arange(8.0), np.zeros(8)])
+        grads = np.array([-1.0] * 4 + [1.0] * 4)
+        tree = GradientTree(TreeGrowthParams(max_depth=2, reg_lambda=0.0))
+        tree.fit_gradients(X, grads, np.ones(8))
+        assert tree.n_features_in_ == 2
+        with pytest.raises(ValueError, match="5 features.*fitted with 2"):
+            tree.predict(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="1 features.*fitted with 2"):
+            tree.predict(np.zeros((3, 1)))
+        with pytest.raises(ValueError, match="2-D"):
+            tree.predict(np.zeros(2))
+
+    def test_predict_without_recorded_width_still_scores(self):
+        """Trees unpickled from pre-width bundles lack n_features_in_
+        and must keep predicting rather than refuse."""
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        grads = np.array([-1.0, -1.0, 1.0, 1.0])
+        tree = GradientTree(TreeGrowthParams(max_depth=1, reg_lambda=0.0))
+        tree.fit_gradients(X, grads, np.ones(4))
+        reference = tree.predict(X)
+        del tree.n_features_in_
+        np.testing.assert_array_equal(tree.predict(X), reference)
+
 
 class TestDecisionTreeRegressor:
     def test_leaves_predict_leaf_means(self, rng):
