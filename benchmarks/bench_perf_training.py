@@ -10,22 +10,34 @@ Times the stages the fast-training tentpole optimised and writes
 * oblivious (CatBoost-style) ensemble fit,
 * greedy CFS selection,
 * the Table-III grid over the XGBoost-family region methods -- the cells
-  whose training cost the histogram finder actually changes -- run three
+  whose training cost the histogram finder actually changes -- run five
   ways: the pre-optimisation baseline (serial, ``xgb_tree_method="exact"``),
-  serial hist, and parallel hist (``n_jobs`` from ``REPRO_N_JOBS``,
-  default 4 for this benchmark).
+  serial hist and parallel hist with the shared-binning cache disabled
+  (so those two stages keep their pre-cache meaning across commits),
+  serial hist with the shared-binning cache on
+  (``table3_grid_hist_shared``), and the process-backend engine
+  (``table3_grid_hist_process``: cache + shared-memory code transport,
+  ``n_jobs`` worker processes).
 
-Two invariants are recorded as named checks and asserted:
+The grid invariants are recorded as named checks and asserted:
 
-* ``grid_parallel_matches_serial`` -- the parallel-hist grid equals the
-  serial-hist grid *bit for bit* (every per-fold coverage/width float),
+* ``grid_parallel_matches_serial`` / ``grid_shared_matches_serial`` /
+  ``grid_process_matches_serial`` -- every variant equals the serial-hist
+  grid *bit for bit* (every per-fold coverage/width float),
 * ``grid_speedup_ok`` -- on a multi-core runner the optimised grid must
   be >= 3x faster than the exact serial baseline (recorded, asserted
   only when the host actually has >= 4 CPUs; a 1-core container cannot
-  realise pool parallelism).
+  realise pool parallelism),
+* ``grid_process_speedup_ok`` -- the shared-binning process engine must
+  be >= 10x faster than the exact serial baseline (asserted on every
+  profile but ``smoke``: the shared-binning savings are algorithmic --
+  redundant quantile sweeps eliminated -- so they do not need spare
+  cores to materialise).
 
-Wall times vary run to run; everything else in the JSON is
-deterministic.
+Grid stages additionally record the process-tree peak RSS
+(``peak_rss_mb``, a cumulative high-water mark sampled after the stage)
+so memory regressions are diffable alongside wall time.  Wall times
+vary run to run; everything else in the JSON is deterministic.
 """
 
 from __future__ import annotations
@@ -39,10 +51,11 @@ from conftest import BENCH_SEED, RESULTS_DIR, bench_profile_name, publish
 
 from repro.eval.experiments import FeatureSet, _experiment_data, run_region_grid
 from repro.features.cfs import CFSSelector
+from repro.models.binning import clear_bin_cache, disable_bin_cache
 from repro.models.gbm import GradientBoostingRegressor
 from repro.models.oblivious import ObliviousBoostingRegressor
 from repro.models.tree import DecisionTreeRegressor
-from repro.perf.bench import BenchRecorder
+from repro.perf.bench import BenchRecorder, peak_rss_mb, time_call
 from repro.perf.parallel import effective_n_jobs
 from repro.silicon.dataset import SiliconDataset
 
@@ -56,6 +69,13 @@ GRID_METHODS = ("QR XGBoost", "CQR XGBoost")
 # baseline -- enforced on runners with >= 4 CPUs (the CI perf-smoke
 # host), recorded everywhere.
 MIN_GRID_SPEEDUP = 3.0
+
+# Required multiple on the shared-binning process engine vs the exact
+# serial baseline.  Enforced on every profile but smoke: the win is
+# algorithmic (binning each training matrix once instead of per member,
+# per fold, per cell), not core-count dependent, so even a 1-CPU
+# container must deliver it.
+MIN_PROCESS_GRID_SPEEDUP = 10.0
 
 
 def _bench_n_jobs() -> int:
@@ -71,6 +91,18 @@ def _grid_fingerprint(grid) -> tuple:
         (cell, result.coverage_per_fold, result.width_per_fold)
         for cell, result in grid.items()
     )
+
+
+def _timed_grid(recorder: BenchRecorder, name: str, fn, **meta):
+    """Time one grid stage and record it with the peak-RSS high-water mark.
+
+    ``BenchRecorder.timed`` evaluates its metadata before the stage
+    runs, which would sample RSS too early -- so time first, then record
+    with :func:`peak_rss_mb` observed after the stage.
+    """
+    result, wall_s = time_call(fn)
+    recorder.record(name, wall_s, peak_rss_mb=peak_rss_mb(), **meta)
+    return result
 
 
 def _fit_models(X, y, profile):
@@ -146,7 +178,7 @@ def test_training_engine_perf(dataset, profile, bench_scope):
         "cfs_select", lambda: CFSSelector(k_max=10).fit(X, y), repeats=3
     )
 
-    def grid(grid_profile, grid_jobs):
+    def grid(grid_profile, grid_jobs, backend="thread"):
         return run_region_grid(
             dataset,
             GRID_METHODS,
@@ -155,27 +187,46 @@ def test_training_engine_perf(dataset, profile, bench_scope):
             profile=grid_profile,
             seed=BENCH_SEED,
             n_jobs=grid_jobs,
+            backend=backend,
         )
 
     exact_profile = dataclasses.replace(profile, xgb_tree_method="exact")
-    recorder.timed(
-        "table3_grid_exact_serial",
-        lambda: grid(exact_profile, 1),
-        methods=list(GRID_METHODS),
+    meta = dict(methods=list(GRID_METHODS))
+    # The first three stages keep their pre-cache meaning across commits:
+    # every fit re-bins its own training matrix, exactly as before the
+    # shared-binning cache existed.
+    with disable_bin_cache():
+        _timed_grid(
+            recorder, "table3_grid_exact_serial", lambda: grid(exact_profile, 1), **meta
+        )
+        serial = _timed_grid(
+            recorder, "table3_grid_hist_serial", lambda: grid(profile, 1), **meta
+        )
+        parallel = _timed_grid(
+            recorder, "table3_grid_hist_parallel", lambda: grid(profile, n_jobs), **meta
+        )
+
+    # The cached stages each start cold so they measure build-once,
+    # reuse-everywhere rather than a warm cache left by a prior stage.
+    clear_bin_cache()
+    shared = _timed_grid(
+        recorder, "table3_grid_hist_shared", lambda: grid(profile, 1), **meta
     )
-    serial = recorder.timed(
-        "table3_grid_hist_serial",
-        lambda: grid(profile, 1),
-        methods=list(GRID_METHODS),
-    )
-    parallel = recorder.timed(
-        "table3_grid_hist_parallel",
-        lambda: grid(profile, n_jobs),
-        methods=list(GRID_METHODS),
+    clear_bin_cache()
+    process = _timed_grid(
+        recorder,
+        "table3_grid_hist_process",
+        lambda: grid(profile, n_jobs, backend="process"),
+        **meta,
     )
 
-    parity = _grid_fingerprint(serial) == _grid_fingerprint(parallel)
+    serial_fp = _grid_fingerprint(serial)
+    parity = serial_fp == _grid_fingerprint(parallel)
+    shared_parity = serial_fp == _grid_fingerprint(shared)
+    process_parity = serial_fp == _grid_fingerprint(process)
     recorder.check("grid_parallel_matches_serial", parity)
+    recorder.check("grid_shared_matches_serial", shared_parity)
+    recorder.check("grid_process_matches_serial", process_parity)
 
     ratio = recorder.speedup(
         "table3_grid", "table3_grid_exact_serial", "table3_grid_hist_parallel"
@@ -183,19 +234,34 @@ def test_training_engine_perf(dataset, profile, bench_scope):
     recorder.speedup(
         "table3_grid_serial_only", "table3_grid_exact_serial", "table3_grid_hist_serial"
     )
+    recorder.speedup(
+        "table3_grid_shared", "table3_grid_exact_serial", "table3_grid_hist_shared"
+    )
+    process_ratio = recorder.speedup(
+        "table3_grid_process", "table3_grid_exact_serial", "table3_grid_hist_process"
+    )
     cpus = os.cpu_count() or 1
     speedup_ok = ratio >= MIN_GRID_SPEEDUP
     recorder.check("grid_speedup_ok", speedup_ok)
+    process_speedup_ok = process_ratio >= MIN_PROCESS_GRID_SPEEDUP
+    recorder.check("grid_process_speedup_ok", process_speedup_ok)
 
     path = recorder.write(REPORT_PATH)
     publish("perf_training", _render(recorder))
     print(f"wrote {path}")
 
     assert parity, "parallel grid diverged from serial grid"
+    assert shared_parity, "shared-binning grid diverged from serial grid"
+    assert process_parity, "process-backend grid diverged from serial grid"
     if cpus >= 4 and n_jobs >= 4:
         assert speedup_ok, (
             f"optimised grid only {ratio:.2f}x faster than the exact serial "
             f"baseline (required {MIN_GRID_SPEEDUP}x)"
+        )
+    if bench_profile_name() != "smoke":
+        assert process_speedup_ok, (
+            f"process-backend grid only {process_ratio:.2f}x faster than the "
+            f"exact serial baseline (required {MIN_PROCESS_GRID_SPEEDUP}x)"
         )
 
 

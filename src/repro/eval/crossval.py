@@ -32,6 +32,7 @@ __all__ = [
     "PointCVResult",
     "cross_validate_intervals",
     "cross_validate_point",
+    "fold_row_subsets",
 ]
 
 
@@ -80,6 +81,22 @@ class KFold:
             train = np.concatenate([indices[:start], indices[start + size :]])
             yield train, test
             start += size
+
+
+def fold_row_subsets(
+    kfold: KFold, n_samples: int
+) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    """Materialise every (train, test) index pair of a splitter.
+
+    The splits a :class:`KFold` yields are fully determined by
+    ``(n_samples, n_splits, shuffle, random_state)``, so any consumer can
+    enumerate them ahead of time -- the grid engine uses this to pre-bin
+    each fold's training matrix once (and ship the codes to worker
+    processes) before any fold model is fitted.
+    """
+    return tuple(
+        (train.copy(), test.copy()) for train, test in kfold.split(n_samples)
+    )
 
 
 @dataclass(frozen=True)

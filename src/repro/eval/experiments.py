@@ -27,23 +27,33 @@ from __future__ import annotations
 
 import enum
 import os
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.cqr import ConformalizedQuantileRegressor
+from repro.core.split_cp import split_train_calibration
 from repro.eval.crossval import (
     IntervalCVResult,
     KFold,
     PointCVResult,
     cross_validate_intervals,
     cross_validate_point,
+    fold_row_subsets,
 )
 from repro.features.cfs import CFSSelector
 from repro.features.selection import CFSSelectedRegressor
 from repro.features.preprocessing import StandardScaler
-from repro.models.base import BaseRegressor, clone
+from repro.models.base import BaseRegressor, check_random_state, clone
+from repro.models.binning import (
+    BinnedDataset,
+    FeatureBinner,
+    dataset_digest,
+    seed_bin_cache,
+    shared_binned_dataset,
+)
 from repro.models.gbm import GradientBoostingRegressor
 from repro.models.gp import GaussianProcessRegressor
 from repro.models.linear import LinearRegression, QuantileLinearRegression
@@ -51,6 +61,7 @@ from repro.models.nn import MLPRegressor
 from repro.models.oblivious import ObliviousBoostingRegressor
 from repro.models.quantile import PackageDefaultQuantileBand, QuantileBandRegressor
 from repro.perf.parallel import parallel_map_outcomes
+from repro.perf.shm import ArraySpec, SharedArrayBundle, attach_array
 from repro.runtime.checkpoint import RunJournal, cell_fingerprint
 from repro.runtime.retry import RetryPolicy
 from repro.silicon.dataset import SiliconDataset
@@ -585,6 +596,208 @@ def _grid_fingerprints(
     return fingerprints
 
 
+# ---------------------------------------------------------------------------
+# process-backend grid engine (shared-memory bin transport)
+# ---------------------------------------------------------------------------
+
+# Per-process state for backend="process" grid workers: the (pickled-
+# once) SiliconDataset the cells read from.  Set by _init_grid_worker in
+# every pool worker, and in the parent before fan-out so the serial
+# fallback and the fork-based stuck-worker requeue path find it too.
+_WORKER_GRID_STATE: Optional[Dict[str, Any]] = None
+
+_SharedBinEntry = Tuple[str, ArraySpec, Tuple[np.ndarray, ...], int]
+
+
+def _hist_bin_plan(
+    names: Sequence[str], kind: str, profile: ExperimentProfile
+) -> Tuple[Tuple[int, ...], bool, bool]:
+    """Which histogram resolutions the grid bins at, and on which rows.
+
+    Returns ``(max_bins values, need_fold_train, need_proper_train)``:
+    QR bands and point models fit on the full CV-fold training matrix,
+    CQR bands on the proper-training split inside it.  Methods that
+    never bin (LR/GP/NN, exact-method XGBoost) contribute nothing.
+    """
+    bins_wanted = set()
+    need_full = False
+    need_proper = False
+    for name in names:
+        base = name.split(" ")[-1]
+        if base == "XGBoost" and profile.xgb_tree_method == "hist":
+            bins_wanted.add(int(profile.xgb_max_bins))
+        elif base == "CatBoost":
+            bins_wanted.add(int(profile.catboost_max_bins))
+        else:
+            continue
+        if kind == "region" and name.startswith("CQR "):
+            need_proper = True
+        else:
+            need_full = True
+    return tuple(sorted(bins_wanted)), need_full, need_proper
+
+
+def _grid_bin_subsets(
+    dataset: SiliconDataset,
+    kind: str,
+    names: Sequence[str],
+    read_points: Sequence[int],
+    feature_set: FeatureSet,
+    profile: ExperimentProfile,
+    seed: int,
+    calibration_fraction: float,
+) -> Dict[str, BinnedDataset]:
+    """Pre-bin every distinct training matrix the grid will fit on.
+
+    The enumeration replays the execution path exactly: the feature
+    matrix depends only on ``(hours, feature_set)``, the CV folds on
+    ``(n_samples, n_folds, seed)`` via :func:`fold_row_subsets`, and the
+    CQR proper-training split on ``(fold size, calibration_fraction,
+    seed)`` -- all deterministic, so the digests computed here are the
+    digests the cell fits will look up.  Binning goes through
+    :func:`shared_binned_dataset`, warming the parent cache as a side
+    effect.  A subset this enumeration missed is only ever a worker-side
+    cache miss (the worker re-bins), never a correctness issue.
+    """
+    bins_wanted, need_full, need_proper = _hist_bin_plan(names, kind, profile)
+    if not bins_wanted:
+        return {}
+    entries: Dict[str, BinnedDataset] = {}
+    kfold = KFold(n_splits=profile.n_folds, shuffle=True, random_state=seed)
+    for hours in read_points:
+        X, _ = dataset.features(
+            int(hours),
+            include_parametric=feature_set.include_parametric,
+            include_onchip=feature_set.include_onchip,
+        )
+        X = np.asarray(X, dtype=np.float64)
+        for train_idx, _test_idx in fold_row_subsets(kfold, X.shape[0]):
+            X_train = X[train_idx]
+            subsets: List[np.ndarray] = []
+            if need_full:
+                subsets.append(X_train)
+            if need_proper:
+                proper_idx, _cal_idx = split_train_calibration(
+                    X_train.shape[0],
+                    calibration_fraction,
+                    check_random_state(seed),
+                )
+                subsets.append(X_train[proper_idx])
+            for subset in subsets:
+                for max_bins in bins_wanted:
+                    entries[dataset_digest(subset, max_bins)] = (
+                        shared_binned_dataset(subset, max_bins)
+                    )
+    return entries
+
+
+def _init_grid_worker(
+    dataset: SiliconDataset, shared_entries: Tuple[_SharedBinEntry, ...]
+) -> None:
+    """Once-per-worker setup for ``backend="process"`` grids.
+
+    Attaches every shared-memory code matrix, rebuilds its binner from
+    the pickled edges, and seeds the worker's bin cache so cell fits hit
+    by content digest instead of re-binning.  The big arrays never
+    travel by pickle: the dataset arrives once per worker (not per
+    cell), the codes by zero-copy attach.
+    """
+    global _WORKER_GRID_STATE
+    seeded: Dict[str, BinnedDataset] = {}
+    for digest, spec, edges, max_bins in shared_entries:
+        codes = attach_array(spec)
+        binner = FeatureBinner.from_edges(max_bins, edges)
+        seeded[digest] = BinnedDataset(binner, codes)
+    if seeded:
+        seed_bin_cache(seeded)
+    _WORKER_GRID_STATE = {"dataset": dataset}
+
+
+class _GridCellTask:
+    """Picklable per-cell runner for ``backend="process"`` grids.
+
+    The thread backend runs closures over the caller's locals; a process
+    pool cannot pickle those, so the small cell parameters travel on
+    this instance while the big objects (the
+    :class:`~repro.silicon.dataset.SiliconDataset`, the shared bin
+    codes) arrive through :func:`_init_grid_worker`.
+    """
+
+    def __init__(self, kind: str, kwargs: Dict[str, Any]) -> None:
+        if kind not in ("point", "region"):
+            raise ValueError(f"kind must be 'point' or 'region', got {kind!r}")
+        self.kind = kind
+        self.kwargs = dict(kwargs)
+
+    def __call__(self, cell: GridCell) -> GridCVResult:
+        state = _WORKER_GRID_STATE
+        if state is None:
+            raise RuntimeError(
+                "process-grid worker state missing: _init_grid_worker never ran"
+            )
+        name, temperature, hours = cell
+        if self.kind == "point":
+            return run_point_experiment(
+                state["dataset"], name, temperature, hours,
+                n_jobs=1, **self.kwargs,
+            )
+        return run_region_experiment(
+            state["dataset"], name, temperature, hours,
+            n_jobs=1, **self.kwargs,
+        )
+
+
+@contextmanager
+def _process_grid_session(
+    dataset: SiliconDataset,
+    kind: str,
+    names: Sequence[str],
+    read_points: Sequence[int],
+    feature_set: FeatureSet,
+    profile: ExperimentProfile,
+    seed: int,
+    calibration_fraction: float,
+    kwargs: Dict[str, Any],
+):
+    """Stand up the shared-memory transport for one process-backend grid.
+
+    Pre-bins the grid's training matrices (warming the parent cache),
+    copies the code matrices into parent-owned shared segments, and
+    yields ``(task, initializer, initargs)`` for the fan-out.  The
+    parent worker state is set before the yield so the serial fallback
+    and the fork-based requeue subprocesses inherit it; segments are
+    unlinked and the state cleared on exit no matter how the grid ends
+    -- a SIGKILLed worker cannot leak a segment, because it never owned
+    one.
+    """
+    global _WORKER_GRID_STATE
+    entries = _grid_bin_subsets(
+        dataset, kind, names, read_points, feature_set, profile, seed,
+        calibration_fraction,
+    )
+    with SharedArrayBundle() as bundle:
+        shared_entries: List[_SharedBinEntry] = []
+        for digest, binned in entries.items():
+            spec = bundle.share(digest, binned.codes)
+            shared_entries.append(
+                (
+                    digest,
+                    spec,
+                    tuple(binned.binner.edges_),
+                    int(binned.max_bins),
+                )
+            )
+        _WORKER_GRID_STATE = {"dataset": dataset}
+        try:
+            yield (
+                _GridCellTask(kind, kwargs),
+                _init_grid_worker,
+                (dataset, tuple(shared_entries)),
+            )
+        finally:
+            _WORKER_GRID_STATE = None
+
+
 def _run_grid(
     cells: Sequence[GridCell],
     run_cell: Callable[[GridCell], GridCVResult],
@@ -596,6 +809,9 @@ def _run_grid(
     on_error: str,
     n_jobs: Optional[int],
     task_wrapper: Optional[Callable[[Callable], Callable]],
+    backend: str = "thread",
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> GridResult:
     """Shared resilient driver behind both grid runners.
 
@@ -604,6 +820,12 @@ def _run_grid(
     uninterrupted one); pending cells fan out through
     :func:`~repro.perf.parallel.parallel_map_outcomes` and are journaled
     the moment they succeed -- before any failure can abort the run.
+
+    ``backend="process"`` weakens the journal guarantee: workers cannot
+    share the parent's journal file handle, so completed cells are
+    recorded in the parent as their outcomes drain, and a parent killed
+    mid-grid loses the cells whose outcomes it had not drained yet.
+    Resume still works -- those cells simply re-run.
     """
     if on_error not in ("raise", "capture"):
         raise ValueError(
@@ -621,7 +843,8 @@ def _run_grid(
             else:
                 pending.append(cell)
     fn = run_cell if task_wrapper is None else task_wrapper(run_cell)
-    if journal is not None:
+    journal_in_task = journal is not None and backend != "process"
+    if journal_in_task:
         # Record from inside the task, not after the fan-out returns:
         # a SIGKILL mid-grid must only ever lose cells still in flight.
         inner, recording_journal = fn, journal
@@ -634,7 +857,9 @@ def _run_grid(
             return value
 
     outcomes = parallel_map_outcomes(
-        fn, pending, n_jobs=n_jobs, retry_policy=retry_policy, timeout=timeout
+        fn, pending, n_jobs=n_jobs, backend=backend,
+        retry_policy=retry_policy, timeout=timeout,
+        initializer=initializer, initargs=initargs,
     )
     failures: List[FailureRecord] = []
     attempts: Dict[GridCell, int] = {}
@@ -643,6 +868,10 @@ def _run_grid(
         attempts[cell] = outcome.attempts
         if outcome.ok:
             results[cell] = outcome.value
+            if journal is not None and not journal_in_task:
+                journal.record(
+                    fingerprints[cell], list(cell), to_payload(outcome.value)
+                )
         else:
             if first_error is None:
                 first_error = outcome.error
@@ -676,6 +905,7 @@ def run_point_grid(
     timeout: Optional[float] = None,
     on_error: str = "raise",
     task_wrapper: Optional[Callable[[Callable], Callable]] = None,
+    backend: str = "thread",
 ) -> GridResult:
     """Fig.-2 grid: every (model, temperature, hours) cell, optionally parallel.
 
@@ -696,6 +926,13 @@ def run_point_grid(
     :class:`FailureRecord` entries instead of raising on the first
     failed cell.  ``task_wrapper`` is the execution-fault injection seam
     used by :func:`repro.eval.stress.run_execution_campaign`.
+
+    ``backend="process"`` fans cells out to worker processes instead of
+    threads: the dataset is pickled once per worker, pre-binned code
+    matrices travel by shared memory (see ``docs/PERFORMANCE.md``), and
+    results are bit-identical to the serial and thread paths.  Journal
+    records are written parent-side as outcomes drain (see
+    :func:`_run_grid`); ``task_wrapper`` requires the thread backend.
     """
     profile = profile or ExperimentProfile.full()
     cells = [
@@ -704,6 +941,34 @@ def run_point_grid(
         for temperature in temperatures
         for hours in read_points
     ]
+    fingerprints = _grid_fingerprints(
+        "point", cells, feature_set, profile, seed, extra={}
+    )
+    if backend == "process":
+        if task_wrapper is not None:
+            raise ValueError(
+                "task_wrapper (fault injection) requires backend='thread'"
+            )
+        kwargs = dict(feature_set=feature_set, profile=profile, seed=seed)
+        with _process_grid_session(
+            dataset, "point", model_names, read_points, feature_set,
+            profile, seed, calibration_fraction=0.25, kwargs=kwargs,
+        ) as (task, initializer, initargs):
+            return _run_grid(
+                cells,
+                task,
+                fingerprints,
+                _point_payload,
+                journal=journal,
+                retry_policy=retry_policy,
+                timeout=timeout,
+                on_error=on_error,
+                n_jobs=n_jobs,
+                task_wrapper=None,
+                backend="process",
+                initializer=initializer,
+                initargs=initargs,
+            )
 
     def run_cell(cell: GridCell) -> PointCVResult:
         name, temperature, hours = cell
@@ -718,9 +983,6 @@ def run_point_grid(
             n_jobs=1,
         )
 
-    fingerprints = _grid_fingerprints(
-        "point", cells, feature_set, profile, seed, extra={}
-    )
     return _run_grid(
         cells,
         run_cell,
@@ -732,6 +994,7 @@ def run_point_grid(
         on_error=on_error,
         n_jobs=n_jobs,
         task_wrapper=task_wrapper,
+        backend=backend,
     )
 
 
@@ -752,12 +1015,14 @@ def run_region_grid(
     timeout: Optional[float] = None,
     on_error: str = "raise",
     task_wrapper: Optional[Callable[[Callable], Callable]] = None,
+    backend: str = "thread",
 ) -> GridResult:
     """Table-III grid: every (method, temperature, hours) cell, optionally parallel.
 
     Same contract as :func:`run_point_grid`, including the resilience
     parameters (journaled resume, deterministic retries, per-cell
-    timeouts, failure capture): independent cells fan out with per-cell
+    timeouts, failure capture) and the ``backend="process"``
+    shared-memory engine: independent cells fan out with per-cell
     folds forced serial, results keyed by
     ``(method_name, temperature_c, hours)`` in cell order, values
     identical to serial :func:`run_region_experiment` calls.  ``alpha``
@@ -770,6 +1035,51 @@ def run_region_grid(
         for temperature in temperatures
         for hours in read_points
     ]
+    fingerprints = _grid_fingerprints(
+        "region",
+        cells,
+        feature_set,
+        profile,
+        seed,
+        extra={
+            "alpha": float(alpha),
+            "calibration_fraction": float(calibration_fraction),
+            "cfs_k": int(cfs_k),
+        },
+    )
+    if backend == "process":
+        if task_wrapper is not None:
+            raise ValueError(
+                "task_wrapper (fault injection) requires backend='thread'"
+            )
+        kwargs = dict(
+            feature_set=feature_set,
+            alpha=alpha,
+            calibration_fraction=calibration_fraction,
+            cfs_k=cfs_k,
+            profile=profile,
+            seed=seed,
+        )
+        with _process_grid_session(
+            dataset, "region", method_names, read_points, feature_set,
+            profile, seed, calibration_fraction=calibration_fraction,
+            kwargs=kwargs,
+        ) as (task, initializer, initargs):
+            return _run_grid(
+                cells,
+                task,
+                fingerprints,
+                _interval_payload,
+                journal=journal,
+                retry_policy=retry_policy,
+                timeout=timeout,
+                on_error=on_error,
+                n_jobs=n_jobs,
+                task_wrapper=None,
+                backend="process",
+                initializer=initializer,
+                initargs=initargs,
+            )
 
     def run_cell(cell: GridCell) -> IntervalCVResult:
         name, temperature, hours = cell
@@ -787,18 +1097,6 @@ def run_region_grid(
             n_jobs=1,
         )
 
-    fingerprints = _grid_fingerprints(
-        "region",
-        cells,
-        feature_set,
-        profile,
-        seed,
-        extra={
-            "alpha": float(alpha),
-            "calibration_fraction": float(calibration_fraction),
-            "cfs_k": int(cfs_k),
-        },
-    )
     return _run_grid(
         cells,
         run_cell,
@@ -810,4 +1108,5 @@ def run_region_grid(
         on_error=on_error,
         n_jobs=n_jobs,
         task_wrapper=task_wrapper,
+        backend=backend,
     )

@@ -6,19 +6,41 @@ with ``np.bincount`` histograms instead of per-node sorting.  With the
 paper's 156-chip dataset and the default 32 bins this is numerically
 indistinguishable from exact greedy search while being orders of magnitude
 faster on the 1800-column parametric feature block.
+
+Binning used to happen once per *fit*; it now happens once per *dataset*:
+:class:`BinnedDataset` bundles a fitted :class:`FeatureBinner` with its
+code matrix (plus the level-0 histogram state every boosting round
+recomputed identically), and :func:`shared_binned_dataset` memoises those
+bundles content-addressed -- the CQR lo/hi pair, CV folds that share a
+training slice, and experiment-grid cells that rebuild the same matrix
+all reuse one binning pass.  Sharing is strictly a wall-clock
+optimisation: cached codes are the exact arrays an independent fit would
+have produced, so every model trained through the cache is bit-identical
+to one trained without it (``tests/test_binshare.py`` asserts this).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import hashlib
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
+    "BinnedDataset",
     "FeatureBinner",
+    "bin_cache_stats",
+    "clear_bin_cache",
+    "dataset_digest",
+    "disable_bin_cache",
     "histogram_cells",
     "histogram_sums",
     "quantile_bin_edges",
+    "seed_bin_cache",
+    "shared_binned_dataset",
 ]
 
 
@@ -57,12 +79,61 @@ class FeatureBinner:
             raise ValueError(f"max_bins must be >= 2, got {max_bins}")
         self.max_bins = max_bins
         self.edges_: List[np.ndarray] = []
+        self._n_bins: Optional[int] = None
+
+    @classmethod
+    def from_edges(
+        cls, max_bins: int, edges: Sequence[np.ndarray]
+    ) -> "FeatureBinner":
+        """Rebuild a fitted binner from per-feature edge arrays.
+
+        Used to reconstitute binners shipped to worker processes (the
+        edges travel by pickle once per worker, the code matrix by shared
+        memory); the result is indistinguishable from the binner the
+        edges came from.
+        """
+        binner = cls(max_bins)
+        binner.edges_ = [np.asarray(e, dtype=np.float64) for e in edges]
+        return binner
 
     def fit(self, X: np.ndarray) -> "FeatureBinner":
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
-        self.edges_ = [quantile_bin_edges(X[:, j], self.max_bins) for j in range(X.shape[1])]
+        self._n_bins = None
+        n_samples, n_features = X.shape
+        if n_samples == 0 or n_features == 0:
+            self.edges_ = [
+                quantile_bin_edges(X[:, j], self.max_bins)
+                for j in range(n_features)
+            ]
+            return self
+        # Vectorised equivalent of calling quantile_bin_edges per column
+        # (kept above as the reference oracle): one column-wise sort finds
+        # every column's distinct values, and the interior quantiles of
+        # all many-valued columns are computed in a single np.quantile
+        # call -- which is bit-identical to the per-column call, as the
+        # parity tests assert.
+        sorted_X = np.sort(X, axis=0)
+        distinct_mask = np.empty(X.shape, dtype=bool)
+        distinct_mask[0] = True
+        np.not_equal(sorted_X[1:], sorted_X[:-1], out=distinct_mask[1:])
+        n_distinct = distinct_mask.sum(axis=0)
+        few = n_distinct <= self.max_bins  # midpoint path, constants included
+        edges: List[Optional[np.ndarray]] = [None] * n_features
+        many_columns = np.flatnonzero(~few)
+        if many_columns.size:
+            quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+            interior = np.quantile(X[:, many_columns], quantiles, axis=0)
+            for position, j in enumerate(many_columns):
+                edges[j] = np.unique(interior[:, position])
+        for j in np.flatnonzero(few):
+            unique = sorted_X[distinct_mask[:, j], j]
+            if unique.size <= 1:
+                edges[j] = np.empty(0)
+            else:
+                edges[j] = (unique[:-1] + unique[1:]) / 2.0
+        self.edges_ = edges
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -89,10 +160,19 @@ class FeatureBinner:
 
     @property
     def n_bins(self) -> int:
-        """Upper bound on bin codes across all features (codes < n_bins)."""
+        """Upper bound on bin codes across all features (codes < n_bins).
+
+        Computed once per fitted binner: the per-tree growers read this
+        every round, and recomputing the max over ~2000 edge arrays per
+        tree is measurable on the paper-sized feature block.
+        """
         if not self.edges_:
             return 1
-        return max((edges.size for edges in self.edges_), default=0) + 1
+        if self._n_bins is None:
+            self._n_bins = max(
+                (edges.size for edges in self.edges_), default=0
+            ) + 1
+        return self._n_bins
 
     def threshold(self, feature: int, bin_index: int) -> float:
         """Raw-unit threshold corresponding to splitting after ``bin_index``.
@@ -148,3 +228,197 @@ def histogram_sums(
     return np.bincount(
         cell, weights=np.repeat(weights, n_candidates), minlength=size
     ).reshape(n_candidates, n_leaves, n_bins)
+
+
+class BinnedDataset:
+    """A fitted binner plus its code matrix, shareable across fits.
+
+    The bundle is immutable from the models' point of view: ``codes`` is
+    exactly ``binner.fit_transform(X)`` for the matrix it was built from,
+    so any fit that starts from a :class:`BinnedDataset` produces the
+    same floats as one that re-bins ``X`` itself.  On top of the codes it
+    caches the two pieces of level-0 histogram state that every boosting
+    round recomputes identically when no row/column sampling is active:
+    the flat (feature, leaf, bin) cell index and the unit-weight
+    histogram (sample counts, which double as the Hessian histogram for
+    the unit-Hessian squared-error/pinball objectives).
+
+    Row-subset views via :meth:`take` are only valid *within* one fit
+    (boosting row subsampling): a CV fold must not slice a full-dataset
+    code matrix, because a binner fitted on the fold's rows has different
+    edges.  Fold sharing happens one level up, in
+    :func:`shared_binned_dataset`, which memoises one ``BinnedDataset``
+    per distinct row subset by content.
+    """
+
+    def __init__(self, binner: FeatureBinner, codes: np.ndarray) -> None:
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != len(binner.edges_):
+            raise ValueError(
+                f"codes must be 2-D with {len(binner.edges_)} columns, "
+                f"got shape {codes.shape}"
+            )
+        self.binner = binner
+        self.codes = codes
+        self.n_bins = int(binner.n_bins)
+        self.codes_max = int(codes.max()) if codes.size else 0
+        self._root_level: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_matrix(cls, X: np.ndarray, max_bins: int) -> "BinnedDataset":
+        """Fit a binner on ``X`` and bundle it with the code matrix."""
+        binner = FeatureBinner(max_bins)
+        return cls(binner, binner.fit_transform(X))
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.codes.shape[1])
+
+    @property
+    def max_bins(self) -> int:
+        return int(self.binner.max_bins)
+
+    def take(self, rows: np.ndarray) -> np.ndarray:
+        """Row-subset codes for in-fit subsampling (same binner edges)."""
+        return self.codes[rows]
+
+    def root_level(self, n_bins: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Level-0 ``(cell, unit_histogram)`` over *all* features.
+
+        Valid only for split searches whose candidate set is the full
+        ``arange(n_features)`` and whose rows are the full matrix -- the
+        growers fall back to computing their own state otherwise.  Keyed
+        by ``n_bins`` because the two boosting models size their
+        histograms differently (``binner.n_bins`` vs. ``codes.max()+1``).
+        The lock makes concurrent lo/hi member fits build the state once.
+        """
+        with self._lock:
+            cached = self._root_level.get(n_bins)
+            if cached is None:
+                root_slot = np.zeros(self.n_samples, dtype=np.int64)
+                cell = histogram_cells(
+                    self.codes, root_slot, 1, n_bins,
+                    np.arange(self.n_features),
+                )
+                unit = histogram_sums(
+                    cell, np.ones(self.n_samples), 1, n_bins, self.n_features
+                )
+                cached = (cell, unit)
+                self._root_level[n_bins] = cached
+            return cached
+
+
+# ---------------------------------------------------------------------------
+# content-addressed dataset cache
+# ---------------------------------------------------------------------------
+
+_CACHE_LOCK = threading.RLock()
+_CACHE: "OrderedDict[str, BinnedDataset]" = OrderedDict()
+_CACHE_CAPACITY = 64
+_CACHE_ENABLED = True
+_CACHE_STATS = {"hits": 0, "builds": 0, "seeded": 0}
+
+
+def dataset_digest(X: np.ndarray, max_bins: int) -> str:
+    """Content key for one (matrix, max_bins) binning problem.
+
+    SHA-256 over the float64 bytes plus shape and resolution: two
+    matrices with equal content share a key no matter how they were
+    produced (a fold slice, a fresh feature build, a shared-memory view),
+    which is what lets the CQR pair, CV folds, and grid cells converge on
+    one binning pass without any caller-side plumbing.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(f"{X.shape[0]}x{X.shape[1]}:{int(max_bins)}:".encode())
+    digest.update(X.data)
+    return digest.hexdigest()
+
+
+def shared_binned_dataset(X: np.ndarray, max_bins: int) -> BinnedDataset:
+    """The memoised :class:`BinnedDataset` for ``X`` at ``max_bins``.
+
+    Cache hits return the already-built bundle (codes, edges, level-0
+    histogram state) without touching ``X`` beyond hashing it; misses
+    bin once and insert.  The cache is process-global, thread-safe, and
+    LRU-bounded; :func:`disable_bin_cache` bypasses it entirely for
+    benchmarking the unshared path.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if not _CACHE_ENABLED:
+        return BinnedDataset.from_matrix(X, max_bins)
+    key = dataset_digest(X, max_bins)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            _CACHE_STATS["hits"] += 1
+            return cached
+    built = BinnedDataset.from_matrix(X, max_bins)
+    with _CACHE_LOCK:
+        winner = _CACHE.setdefault(key, built)
+        _CACHE.move_to_end(key)
+        _CACHE_STATS["builds"] += 1
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+    return winner
+
+
+def seed_bin_cache(entries: Mapping[str, BinnedDataset]) -> None:
+    """Pre-populate the cache with externally built bundles.
+
+    The process-grid engine calls this in every worker with bundles
+    whose code matrices are shared-memory views: cells then hit the
+    cache by content digest instead of re-binning, without the matrices
+    ever having been pickled.
+    """
+    with _CACHE_LOCK:
+        for key, dataset in entries.items():
+            if not isinstance(dataset, BinnedDataset):
+                raise TypeError(
+                    f"cache entries must be BinnedDataset, got {type(dataset)!r}"
+                )
+            _CACHE[key] = dataset
+            _CACHE.move_to_end(key)
+            _CACHE_STATS["seeded"] += 1
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+
+
+def clear_bin_cache() -> None:
+    """Drop every cached dataset and reset the hit/build counters."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        for key in _CACHE_STATS:
+            _CACHE_STATS[key] = 0
+
+
+def bin_cache_stats() -> Dict[str, int]:
+    """Snapshot of cache counters plus the current entry count."""
+    with _CACHE_LOCK:
+        stats = dict(_CACHE_STATS)
+        stats["entries"] = len(_CACHE)
+        return stats
+
+
+@contextmanager
+def disable_bin_cache() -> Iterator[None]:
+    """Context manager: every fit inside re-bins independently.
+
+    Used by the perf benchmark to time the unshared path honestly and by
+    the parity tests to produce the no-cache reference models.
+    """
+    global _CACHE_ENABLED
+    with _CACHE_LOCK:
+        previous = _CACHE_ENABLED
+        _CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        with _CACHE_LOCK:
+            _CACHE_ENABLED = previous

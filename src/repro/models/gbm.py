@@ -27,7 +27,7 @@ from repro.models.base import (
     check_X,
     check_X_y,
 )
-from repro.models.binning import FeatureBinner
+from repro.models.binning import BinnedDataset, shared_binned_dataset
 from repro.models.histtree import grow_histogram_tree
 from repro.models.losses import (
     mse_gradient_hessian,
@@ -144,6 +144,7 @@ class GradientBoostingRegressor(BaseRegressor):
         y: np.ndarray,
         eval_set=None,
         early_stopping_rounds: Optional[int] = None,
+        binned: Optional[BinnedDataset] = None,
     ) -> "GradientBoostingRegressor":
         """Fit the boosting ensemble.
 
@@ -158,6 +159,14 @@ class GradientBoostingRegressor(BaseRegressor):
             Stop when the validation loss has not improved for this many
             consecutive rounds, keeping the ensemble truncated at the best
             round (XGBoost semantics).  Requires ``eval_set``.
+        binned:
+            Optional pre-binned :class:`~repro.models.binning.BinnedDataset`
+            for ``tree_method="hist"``: its codes must come from this very
+            ``X`` at this ``max_bins``.  When omitted the fit goes through
+            :func:`~repro.models.binning.shared_binned_dataset`, so repeat
+            fits on the same matrix (the CQR lo/hi pair, CV folds, grid
+            cells) reuse one binning pass automatically.  Bit-identical to
+            binning from scratch either way.
 
         Notes
         -----
@@ -209,11 +218,26 @@ class GradientBoostingRegressor(BaseRegressor):
 
         n_samples, n_features = X.shape
         if self.tree_method == "hist":
-            binner = FeatureBinner(self.max_bins)
-            binned = binner.fit_transform(X)
+            if binned is not None:
+                if binned.codes.shape != X.shape:
+                    raise ValueError(
+                        f"binned dataset has shape {binned.codes.shape}, "
+                        f"X has {X.shape}"
+                    )
+                if binned.max_bins != self.max_bins:
+                    raise ValueError(
+                        f"binned dataset was built with max_bins="
+                        f"{binned.max_bins}, model wants {self.max_bins}"
+                    )
+                dataset = binned
+            else:
+                dataset = shared_binned_dataset(X, self.max_bins)
+            binner = dataset.binner
+            codes = dataset.codes
         else:
+            dataset = None
             binner = None
-            binned = None
+            codes = None
 
         prediction = np.full(n_samples, self.base_score_)
         trees: List[GradientTree] = []
@@ -230,7 +254,9 @@ class GradientBoostingRegressor(BaseRegressor):
                 n_rows = max(1, int(round(self.subsample * n_samples)))
                 rows = rng.choice(n_samples, size=n_rows, replace=False)
             else:
-                rows = np.arange(n_samples)
+                # Full-matrix round: no row copy, no RNG draw (the draw
+                # never happened on this branch, so seeds are unchanged).
+                rows = None
             if self.colsample_bytree < 1.0:
                 n_cols = max(1, int(round(self.colsample_bytree * n_features)))
                 cols = rng.choice(n_features, size=n_cols, replace=False)
@@ -238,10 +264,19 @@ class GradientBoostingRegressor(BaseRegressor):
                 cols = np.arange(n_features)
 
             if self.tree_method == "hist":
-                tree = grow_histogram_tree(
-                    binned[rows], binner, gradients[rows], hessians[rows],
-                    params, cols, self.feature_shortlist,
-                )
+                if rows is None:
+                    tree = grow_histogram_tree(
+                        codes, binner, gradients, hessians,
+                        params, cols, self.feature_shortlist, dataset=dataset,
+                    )
+                else:
+                    tree = grow_histogram_tree(
+                        codes[rows], binner, gradients[rows], hessians[rows],
+                        params, cols, self.feature_shortlist,
+                    )
+            elif rows is None:
+                tree = GradientTree(params)
+                tree.fit_gradients(X, gradients, hessians, cols)
             else:
                 tree = GradientTree(params)
                 tree.fit_gradients(X[rows], gradients[rows], hessians[rows], cols)

@@ -16,7 +16,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.models.binning import FeatureBinner, histogram_cells, histogram_sums
+from repro.models.binning import (
+    BinnedDataset,
+    FeatureBinner,
+    histogram_cells,
+    histogram_sums,
+)
 from repro.models.tree import GradientTree, TreeGrowthParams, _NodeBuffers
 
 __all__ = ["grow_histogram_tree"]
@@ -32,6 +37,7 @@ def grow_histogram_tree(
     params: TreeGrowthParams,
     candidate_features: Optional[np.ndarray] = None,
     feature_shortlist: Optional[int] = None,
+    dataset: Optional[BinnedDataset] = None,
 ) -> GradientTree:
     """Grow one depth-wise Newton tree on pre-binned features.
 
@@ -56,6 +62,15 @@ def grow_histogram_tree(
         Wide-data speedup: after the root level scores every candidate
         exactly, deeper levels only consider the top-K features by root
         gain.  ``None`` keeps the exact search at every level.
+    dataset:
+        Optional :class:`~repro.models.binning.BinnedDataset` whose
+        ``codes`` are this very ``binned`` matrix with
+        ``candidate_features`` spanning every column.  When given, the
+        level-0 cell index and unit-weight histogram come from the
+        dataset's cache instead of being recomputed -- they are
+        round-invariant, and recomputing them dominated the per-round
+        cost before this seam existed.  Strictly result-preserving:
+        callers for which the contract does not hold simply omit it.
 
     Returns
     -------
@@ -97,30 +112,60 @@ def grow_histogram_tree(
         if depth == params.max_depth:
             break
 
-        binned_live = binned[live]
-        slot_live = slot[live]
-        n_live = int(live.sum())
+        # Avoid materialising full-matrix copies while every sample is
+        # still live (always true at the root; true at every level until
+        # the first leaf terminates) -- binned[live] with an all-True
+        # mask is the costliest no-op in the grower.
+        all_live = bool(live.all())
+        binned_live = binned if all_live else binned[live]
+        slot_live = slot if all_live else slot[live]
+        gradients_live = gradients if all_live else gradients[live]
+        n_live = binned_live.shape[0]
         unit_hessian = bool(np.all(hessians == 1.0))
         n_candidates = candidate_features.size
-        cell = histogram_cells(
-            binned_live, slot_live, n_active, n_bins, candidate_features
-        )
+        root_unit = None
+        if (
+            dataset is not None
+            and depth == 0
+            and all_live
+            and n_candidates == n_features
+            and np.array_equal(candidate_features, np.arange(n_features))
+        ):
+            # Round-invariant level-0 state shared across the whole
+            # boosting run (and across the lo/hi quantile pair).
+            cell, root_unit = dataset.root_level(n_bins)
+        else:
+            cell = histogram_cells(
+                binned_live, slot_live, n_active, n_bins, candidate_features
+            )
         grad_cells = histogram_sums(
-            cell, gradients[live], n_active, n_bins, n_candidates
+            cell, gradients_live, n_active, n_bins, n_candidates
         )
         if unit_hessian:
             # Both supported objectives (squared error, pinball) have unit
             # Hessians, so the Hessian histogram doubles as a sample count.
-            hess_cells = histogram_sums(
-                cell, np.ones(n_live), n_active, n_bins, n_candidates
+            hess_cells = (
+                root_unit
+                if root_unit is not None
+                else histogram_sums(
+                    cell, np.ones(n_live), n_active, n_bins, n_candidates
+                )
             )
             count_cells = hess_cells
         else:
             hess_cells = histogram_sums(
-                cell, hessians[live], n_active, n_bins, n_candidates
+                cell,
+                hessians if all_live else hessians[live],
+                n_active,
+                n_bins,
+                n_candidates,
             )
-            count_cells = histogram_sums(
-                cell, np.ones(n_live), n_active, n_bins, n_candidates
+            count_cells = (
+                root_unit
+                if root_unit is not None
+                else histogram_sums(
+                    cell, np.ones(n_live), n_active, n_bins, n_candidates
+                )
             )
 
         grad_left = np.cumsum(grad_cells, axis=2)[:, :, :-1]

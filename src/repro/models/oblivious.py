@@ -33,7 +33,12 @@ from repro.models.base import (
     check_X,
     check_X_y,
 )
-from repro.models.binning import FeatureBinner, histogram_cells, histogram_sums
+from repro.models.binning import (
+    BinnedDataset,
+    histogram_cells,
+    histogram_sums,
+    shared_binned_dataset,
+)
 from repro.models.losses import (
     mse_gradient_hessian,
     pinball_gradient_hessian,
@@ -180,16 +185,30 @@ class ObliviousBoostingRegressor(BaseRegressor):
         self.trees_: Optional[List[ObliviousTree]] = None
 
     # -- binning -----------------------------------------------------------
-    def _bin_features(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
-        """Digitise every column; returns bin codes and per-column edges.
+    def _bin_features(
+        self, X: np.ndarray, dataset: Optional[BinnedDataset] = None
+    ) -> BinnedDataset:
+        """Digitise every column into a shared :class:`BinnedDataset`.
 
-        Delegates to :class:`~repro.models.binning.FeatureBinner` so both
-        boosting models share one binning implementation (and its compact
-        uint8 code matrix).
+        The single binning code path for both boosting models: delegates
+        to :func:`~repro.models.binning.shared_binned_dataset`, so repeat
+        fits on the same matrix (the CQR lo/hi pair, CV folds, grid
+        cells) reuse one binning pass.  A caller-provided ``dataset`` is
+        validated against ``X`` and used as-is.
         """
-        binner = FeatureBinner(self.max_bins)
-        binned = binner.fit_transform(X)
-        return binned, binner.edges_
+        if dataset is not None:
+            if dataset.codes.shape != X.shape:
+                raise ValueError(
+                    f"binned dataset has shape {dataset.codes.shape}, "
+                    f"X has {X.shape}"
+                )
+            if dataset.max_bins != self.max_bins:
+                raise ValueError(
+                    f"binned dataset was built with max_bins="
+                    f"{dataset.max_bins}, model wants {self.max_bins}"
+                )
+            return dataset
+        return shared_binned_dataset(X, self.max_bins)
 
     def _gradients(self, y: np.ndarray, prediction: np.ndarray):
         if self.quantile is None:
@@ -238,6 +257,8 @@ class ObliviousBoostingRegressor(BaseRegressor):
         n_leaves: int,
         candidate_features: np.ndarray,
         rng=None,
+        n_bins: Optional[int] = None,
+        dataset: Optional[BinnedDataset] = None,
     ) -> Tuple[int, int, float, np.ndarray]:
         """Pick the (feature, bin-threshold) with maximal summed leaf gain.
 
@@ -246,15 +267,41 @@ class ObliviousBoostingRegressor(BaseRegressor):
         ``(-1, -1, -inf, scores)`` when no candidate improves on not
         splitting.  ``per_feature_scores`` (aligned with
         ``candidate_features``) feeds the root-gain shortlist.
+
+        ``n_bins`` is round-invariant (``codes.max() + 1``), so callers
+        fitting many rounds pass it in rather than re-scanning the code
+        matrix per level.  ``dataset`` enables the level-0 histogram
+        cache: when the candidates span every column of its codes and a
+        single leaf is active, the cell index (and, for unit Hessians,
+        the Hessian histogram) comes from
+        :meth:`BinnedDataset.root_level` -- bit-identical by
+        construction.
         """
         lam = self.l2_leaf_reg
-        n_bins = int(binned.max()) + 1 if binned.size else 1
+        if n_bins is None:
+            n_bins = int(binned.max()) + 1 if binned.size else 1
         best_feature, best_bin, best_score = -1, -1, -np.inf
 
         n_candidates = candidate_features.size
-        cell = histogram_cells(binned, leaf_idx, n_leaves, n_bins, candidate_features)
+        root_unit = None
+        if (
+            dataset is not None
+            and n_leaves == 1
+            and n_candidates == binned.shape[1]
+            and np.array_equal(candidate_features, np.arange(binned.shape[1]))
+        ):
+            cell, root_unit = dataset.root_level(n_bins)
+        else:
+            cell = histogram_cells(
+                binned, leaf_idx, n_leaves, n_bins, candidate_features
+            )
         grad_cells = histogram_sums(cell, gradients, n_leaves, n_bins, n_candidates)
-        hess_cells = histogram_sums(cell, hessians, n_leaves, n_bins, n_candidates)
+        if root_unit is not None and bool(np.all(hessians == 1.0)):
+            hess_cells = root_unit
+        else:
+            hess_cells = histogram_sums(
+                cell, hessians, n_leaves, n_bins, n_candidates
+            )
 
         grad_left = np.cumsum(grad_cells, axis=2)[:, :, :-1]
         hess_left = np.cumsum(hess_cells, axis=2)[:, :, :-1]
@@ -311,11 +358,23 @@ class ObliviousBoostingRegressor(BaseRegressor):
         return best_feature, best_bin, best_score, per_feature
 
     # -- fitting ---------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "ObliviousBoostingRegressor":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        binned: Optional[BinnedDataset] = None,
+    ) -> "ObliviousBoostingRegressor":
+        """Fit the ensemble; ``binned`` optionally supplies a pre-binned
+        :class:`~repro.models.binning.BinnedDataset` whose codes come
+        from this very ``X`` at this ``max_bins`` (bit-identical to
+        binning from scratch)."""
         X, y = check_X_y(X, y)
         self.n_features_in_ = X.shape[1]
         rng = check_random_state(self.random_state)
-        binned, edges = self._bin_features(X)
+        dataset = self._bin_features(X, dataset=binned)
+        binned = dataset.codes
+        edges = dataset.binner.edges_
+        n_bins = dataset.codes_max + 1
         n_samples, n_features = X.shape
 
         if self.quantile is None:
@@ -353,7 +412,7 @@ class ObliviousBoostingRegressor(BaseRegressor):
                     candidates = np.arange(n_features)
                 feature, bin_index, _score, feature_scores = self._best_level_split(
                     binned, leaf_idx, weighted_grad, weighted_hess, n_leaves,
-                    candidates, rng,
+                    candidates, rng, n_bins=n_bins, dataset=dataset,
                 )
                 if (
                     shortlist is None

@@ -70,12 +70,29 @@ class QuantileBandRegressor(BaseRegressor):
         """The (lower, upper) target quantiles implied by ``alpha``."""
         return self.alpha / 2.0, 1.0 - self.alpha / 2.0
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "QuantileBandRegressor":
-        """Fit the lower/upper quantile clones and the crossing diagnostic."""
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, binned=None
+    ) -> "QuantileBandRegressor":
+        """Fit the lower/upper quantile clones and the crossing diagnostic.
+
+        ``binned`` optionally carries a pre-binned
+        :class:`~repro.models.binning.BinnedDataset` for ``X``; it is
+        forwarded to members whose ``fit`` accepts the seam (the
+        histogram boosters), so the lo/hi pair shares one binning pass.
+        Members without the seam are fitted exactly as before.
+        """
+        import inspect
+
         from repro.perf.parallel import parallel_map
 
         def fit_member(quantile: float) -> BaseRegressor:
-            return clone(self.template, quantile=quantile).fit(X, y)
+            member = clone(self.template, quantile=quantile)
+            if (
+                binned is not None
+                and "binned" in inspect.signature(member.fit).parameters
+            ):
+                return member.fit(X, y, binned=binned)
+            return member.fit(X, y)
 
         self.lower_, self.upper_ = parallel_map(
             fit_member, self.quantiles, n_jobs=self.n_jobs

@@ -582,10 +582,10 @@ class DecisionTreeRegressor(BaseRegressor):
         )
         tree = GradientTree(params)
         if self.splitter == "hist":
-            from repro.models.binning import FeatureBinner
+            from repro.models.binning import shared_binned_dataset
 
-            binner = FeatureBinner(self.max_bins)
-            tree.fit_binned(binner.fit_transform(X), binner, -y, np.ones_like(y))
+            dataset = shared_binned_dataset(X, self.max_bins)
+            tree.fit_binned(dataset.codes, dataset.binner, -y, np.ones_like(y))
         else:
             tree.fit_gradients(X, -y, np.ones_like(y))
         self.tree_ = tree

@@ -16,6 +16,13 @@ changing a single number:
   stages and writes machine-readable JSON baselines
   (``BENCH_training.json``) so performance regressions are diffable
   across commits.
+* :mod:`repro.perf.shm` -- parent-owned shared-memory transport for
+  numpy arrays (the process-backend grid ships each pre-binned code
+  matrix to the workers once, zero-copy, instead of pickling it per
+  task).
+* :mod:`repro.perf.gate` -- the CI regression gate:
+  ``python -m repro.perf.gate BASELINE CURRENT`` fails when a stage's
+  wall time regressed past the threshold.
 
 See ``docs/PERFORMANCE.md`` for the environment knobs and the
 determinism guarantees.
@@ -25,9 +32,14 @@ from repro.perf.bench import (
     BenchRecorder,
     BenchTiming,
     load_report,
+    peak_rss_mb,
     regressions,
     time_call,
 )
+# repro.perf.gate is deliberately NOT imported here: it is a ``-m``
+# entry point, and importing it from the package would make
+# ``python -m repro.perf.gate`` warn about the module already being in
+# ``sys.modules``.  Import it as ``repro.perf.gate`` directly.
 from repro.perf.parallel import (
     TaskOutcome,
     effective_n_jobs,
@@ -35,15 +47,21 @@ from repro.perf.parallel import (
     parallel_map_outcomes,
     spawn_seeds,
 )
+from repro.perf.shm import ArraySpec, SharedArrayBundle, attach_array, detach_all
 
 __all__ = [
+    "ArraySpec",
     "BenchRecorder",
     "BenchTiming",
+    "SharedArrayBundle",
     "TaskOutcome",
+    "attach_array",
+    "detach_all",
     "effective_n_jobs",
     "load_report",
     "parallel_map",
     "parallel_map_outcomes",
+    "peak_rss_mb",
     "regressions",
     "spawn_seeds",
     "time_call",

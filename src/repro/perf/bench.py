@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
@@ -38,6 +40,7 @@ __all__ = [
     "BenchRecorder",
     "BenchTiming",
     "load_report",
+    "peak_rss_mb",
     "regressions",
     "time_call",
 ]
@@ -65,6 +68,51 @@ def time_call(fn: Callable[[], R], repeats: int = 1) -> Tuple[R, float]:
         if elapsed < best:
             best = elapsed
     return result, best
+
+
+def _git_sha_fallback() -> Optional[str]:
+    """Current commit from ``git rev-parse HEAD``; ``None`` off a checkout.
+
+    The fallback behind ``REPRO_GIT_SHA``: a locally regenerated BENCH
+    report should still say which commit produced it instead of
+    committing ``"git_sha": null``.  Every failure mode (no git binary,
+    not a repository, timeout) degrades to ``None``.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident-set size of this process tree so far, in MiB.
+
+    Reads ``getrusage`` high-water marks for the process itself and its
+    waited-for children (the process-backend grid workers) and returns
+    the larger -- the honest answer to "how much memory did this stage
+    need".  ``None`` where the :mod:`resource` module is unavailable
+    (non-POSIX platforms); benchmarks record it as metadata only.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    peak = max(own, children)
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(peak / divisor, 2)
 
 
 class BenchTiming:
@@ -98,7 +146,10 @@ class BenchRecorder:
         The resolved worker count the parallel sections ran with.
     git_sha:
         Commit identifier; ``None`` reads the ``REPRO_GIT_SHA``
-        environment variable (set by CI), staying ``None`` outside CI.
+        environment variable (set by CI) and, when that is unset too,
+        falls back to ``git rev-parse HEAD`` -- so locally regenerated
+        reports are attributable to a commit.  Stays ``None`` only off
+        a git checkout.
     """
 
     def __init__(
@@ -111,9 +162,9 @@ class BenchRecorder:
         self.benchmark = benchmark
         self.profile = profile
         self.n_jobs = int(n_jobs)
-        self.git_sha = git_sha if git_sha is not None else (
-            os.environ.get("REPRO_GIT_SHA") or None
-        )
+        if git_sha is None:
+            git_sha = os.environ.get("REPRO_GIT_SHA") or _git_sha_fallback()
+        self.git_sha = git_sha
         self._timings: Dict[str, BenchTiming] = {}
         self._speedups: Dict[str, float] = {}
         self._checks: Dict[str, bool] = {}

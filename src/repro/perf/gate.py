@@ -1,0 +1,183 @@
+"""CI wall-time regression gate over benchmark JSON reports.
+
+Usage::
+
+    python -m repro.perf.gate BASELINE CURRENT --threshold 1.15
+    python -m repro.perf.gate BASELINE CURRENT --stages table3_grid
+
+Compares a freshly produced benchmark report against a committed
+baseline (both written by :class:`repro.perf.bench.BenchRecorder`) and
+exits non-zero when any gated stage's wall time regressed past
+``threshold`` times its baseline.  Two reports are only comparable when
+they measured the same workload, so a ``profile`` or ``n_jobs``
+mismatch **skips** the gate (exit 0 with an explanatory message) rather
+than failing it -- a CI matrix change must not masquerade as a perf
+regression.
+
+``--stages`` restricts the gate to stage names with the given prefix
+(repeatable).  CI gates only the Table-III grid stages: micro-stages
+measured in milliseconds are pure scheduler noise at smoke scale, while
+the grid stages are long enough for a 15% threshold to mean something.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.perf.bench import load_report, regressions
+
+__all__ = ["EXIT_ERROR", "EXIT_OK", "EXIT_REGRESSED", "GateResult", "compare_reports", "main"]
+
+EXIT_OK = 0
+EXIT_REGRESSED = 1
+EXIT_ERROR = 2
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one baseline/current comparison.
+
+    ``skipped`` carries the incomparability reason (profile or worker
+    mismatch) when the gate declined to judge; ``flagged`` maps each
+    regressed stage to its ``(baseline_wall_s, current_wall_s)`` pair;
+    ``gated`` lists the stage names that were actually compared.
+    """
+
+    skipped: Optional[str] = None
+    flagged: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    gated: Tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 0 for pass/skip, 1 for a regression."""
+        return EXIT_REGRESSED if self.flagged else EXIT_OK
+
+
+def _stage_subset(
+    report: Mapping[str, Any], stages: Sequence[str]
+) -> Dict[str, Any]:
+    """Copy of ``report`` with timings restricted to the stage prefixes."""
+    timings = report.get("timings", {})
+    if stages:
+        timings = {
+            name: entry
+            for name, entry in timings.items()
+            if any(name.startswith(prefix) for prefix in stages)
+        }
+    shallow = dict(report)
+    shallow["timings"] = dict(timings)
+    return shallow
+
+
+def compare_reports(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = 1.15,
+    stages: Sequence[str] = (),
+) -> GateResult:
+    """Gate ``current`` against ``baseline``; see the module docstring.
+
+    Returns a :class:`GateResult` -- skipped when the reports measured
+    different workloads (``profile`` or ``n_jobs`` mismatch), otherwise
+    carrying every gated stage whose current wall time exceeds
+    ``threshold`` times its baseline.  Stages present in only one
+    report are ignored, exactly as in
+    :func:`repro.perf.bench.regressions`.
+    """
+    for key in ("profile", "n_jobs"):
+        base_value = baseline.get(key)
+        cur_value = current.get(key)
+        if base_value != cur_value:
+            return GateResult(
+                skipped=(
+                    f"{key} mismatch (baseline {base_value!r} vs current "
+                    f"{cur_value!r}); reports are not comparable"
+                )
+            )
+    gated_current = _stage_subset(current, stages)
+    gated_baseline = _stage_subset(baseline, stages)
+    gated = tuple(
+        sorted(
+            set(gated_current["timings"]) & set(gated_baseline["timings"])
+        )
+    )
+    flagged = regressions(gated_current, gated_baseline, threshold=threshold)
+    return GateResult(flagged=dict(sorted(flagged.items())), gated=gated)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The CLI surface; separated so tests can inspect defaults."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.gate",
+        description=(
+            "Fail when a benchmark stage's wall time regressed past "
+            "THRESHOLD x the committed baseline."
+        ),
+    )
+    parser.add_argument("baseline", help="committed baseline report (JSON)")
+    parser.add_argument("current", help="freshly produced report (JSON)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.15,
+        help="failure ratio current/baseline (default: 1.15)",
+    )
+    parser.add_argument(
+        "--stages",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="gate only stage names with this prefix (repeatable; "
+        "default: every stage present in both reports)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.threshold <= 1.0:
+        print(
+            f"gate: threshold must be > 1.0, got {args.threshold}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except (OSError, ValueError) as error:
+        print(f"gate: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    result = compare_reports(
+        baseline, current, threshold=args.threshold, stages=args.stages
+    )
+    if result.skipped is not None:
+        print(f"gate: skipped -- {result.skipped}")
+        return EXIT_OK
+    if not result.gated:
+        print("gate: no common stages to compare; nothing gated")
+        return EXIT_OK
+    if result.flagged:
+        print(
+            f"gate: {len(result.flagged)} stage(s) regressed past "
+            f"{args.threshold:.2f}x baseline:"
+        )
+        for name, (base_wall, cur_wall) in result.flagged.items():
+            ratio = cur_wall / base_wall if base_wall else float("inf")
+            print(
+                f"  {name}: {base_wall:.3f}s -> {cur_wall:.3f}s "
+                f"({ratio:.2f}x)"
+            )
+        return EXIT_REGRESSED
+    print(
+        f"gate: OK -- {len(result.gated)} stage(s) within "
+        f"{args.threshold:.2f}x of baseline"
+    )
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

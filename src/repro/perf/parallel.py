@@ -237,6 +237,8 @@ def _pooled_outcomes(
     backend: str,
     retry_policy: Optional[RetryPolicy],
     timeout: Optional[float],
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> Optional[List[TaskOutcome]]:
     """Run the pool path; ``None`` means "fall back to serial".
 
@@ -249,7 +251,11 @@ def _pooled_outcomes(
     executor_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
     task = _ResilientTask(fn, retry_policy, timeout)
     try:
-        pool = executor_cls(max_workers=min(jobs, len(work)))
+        pool = executor_cls(
+            max_workers=min(jobs, len(work)),
+            initializer=initializer,
+            initargs=initargs,
+        )
     except (OSError, RuntimeError, PermissionError):
         # Restricted environments (no spawn semaphores, thread limits):
         # keep the results identical and just give up the speedup.
@@ -296,6 +302,8 @@ def parallel_map_outcomes(
     backend: str = "thread",
     retry_policy: Optional[RetryPolicy] = None,
     timeout: Optional[float] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> List[TaskOutcome]:
     """Resilient ordered map: one :class:`TaskOutcome` per item, no raising.
 
@@ -306,6 +314,12 @@ def parallel_map_outcomes(
     deterministic per-task backoff schedule), and ``timeout`` bounds
     each task as the backend allows -- cooperatively for threads,
     hard-kill + serial requeue for processes.
+
+    ``initializer(*initargs)`` runs once per pool worker before any task
+    (the process backend uses it to attach shared-memory payloads); when
+    the map degrades to the serial loop it runs once, in-process, before
+    the first task, so worker state is set up no matter how work is
+    scheduled.  Both must be picklable for ``backend="process"``.
 
     Task-level exceptions never propagate; infrastructure errors in the
     caller's own arguments (unknown backend, bad job count) still raise.
@@ -320,10 +334,13 @@ def parallel_map_outcomes(
     jobs = effective_n_jobs(n_jobs)
     if jobs > 1 and len(work) > 1:
         pooled = _pooled_outcomes(
-            fn, work, jobs, backend, retry_policy, timeout
+            fn, work, jobs, backend, retry_policy, timeout,
+            initializer, initargs,
         )
         if pooled is not None:
             return pooled
+    if initializer is not None:
+        initializer(*initargs)
     return [
         _execute_task(fn, item, index, retry_policy, timeout)
         for index, item in enumerate(work)
@@ -337,6 +354,8 @@ def parallel_map(
     backend: str = "thread",
     retry_policy: Optional[RetryPolicy] = None,
     timeout: Optional[float] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> List[R]:
     """Map ``fn`` over ``items`` with ordered results.
 
@@ -364,6 +383,9 @@ def parallel_map(
         hard kill + requeue for processes); overruns raise
         :class:`~repro.runtime.watchdog.TaskTimeout`, which the retry
         policy may re-run.
+    initializer, initargs:
+        Optional once-per-worker setup hook, exactly as in
+        :func:`parallel_map_outcomes`.
 
     Results are collected in input order.  When any task ultimately
     fails, the first failure (in input order) is re-raised in the
@@ -380,6 +402,8 @@ def parallel_map(
         backend=backend,
         retry_policy=retry_policy,
         timeout=timeout,
+        initializer=initializer,
+        initargs=initargs,
     )
     for outcome in outcomes:
         if outcome.error is not None:

@@ -71,10 +71,13 @@ class TestBenchRecorder:
         rec.record("instant", 0.0)
         assert rec.speedup("div", "slow", "instant") == float("inf")
 
-    def test_git_sha_from_environment(self, monkeypatch):
+    def test_git_sha_from_environment(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
         assert BenchRecorder("training", "smoke").git_sha == "deadbeef"
         monkeypatch.delenv("REPRO_GIT_SHA")
+        # Without the variable the recorder falls back to the checkout's
+        # HEAD; only off a git repository does it stay None.
+        monkeypatch.chdir(tmp_path)
         assert BenchRecorder("training", "smoke").git_sha is None
 
     def test_write_and_load_roundtrip(self, tmp_path):
