@@ -26,11 +26,15 @@ finite-sample quantile of Eq. 7/9), :mod:`repro.core.scores`
 """
 
 from repro.core.adaptive import AdaptiveConformalPredictor
-from repro.core.calibration import conformal_quantile, effective_coverage_level
+from repro.core.calibration import (
+    conformal_quantile,
+    conformal_quantile_sorted,
+    effective_coverage_level,
+)
 from repro.core.cqr import ConformalizedQuantileRegressor
 from repro.core.cv_plus import CVPlusRegressor, JackknifePlusRegressor
 from repro.core.intervals import PredictionIntervals
-from repro.core.mondrian import MondrianConformalRegressor
+from repro.core.mondrian import MondrianConformalRegressor, MondrianFallbackWarning
 from repro.core.scores import (
     absolute_residual_score,
     cqr_score,
@@ -44,10 +48,12 @@ __all__ = [
     "ConformalizedQuantileRegressor",
     "JackknifePlusRegressor",
     "MondrianConformalRegressor",
+    "MondrianFallbackWarning",
     "PredictionIntervals",
     "SplitConformalRegressor",
     "absolute_residual_score",
     "conformal_quantile",
+    "conformal_quantile_sorted",
     "cqr_score",
     "effective_coverage_level",
     "normalized_residual_score",

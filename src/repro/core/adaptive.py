@@ -22,17 +22,54 @@ the streaming protocol: ``predict_interval`` → observe ``y`` → ``update``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import bisect
+from collections import deque
+from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.core.calibration import conformal_quantile
+from repro.core.calibration import conformal_quantile_sorted
 from repro.core.intervals import PredictionIntervals
 from repro.core.scores import cqr_score
 from repro.models.base import BaseRegressor, check_fitted, check_X_y
 from repro.models.quantile import QuantileBandRegressor
 
 __all__ = ["AdaptiveConformalPredictor"]
+
+
+class _SortedScoreWindow:
+    """Calibration scores in arrival order plus a sorted mirror.
+
+    The streaming loop needs two views of the same data: arrival order
+    (so a bounded window evicts the *oldest* score) and ascending order
+    (so the conformal quantile is a direct index instead of an ``O(n)``
+    partition per prediction).  Insertion locates its slot by bisection;
+    eviction removes the expired value from the mirror the same way, so
+    no float is ever compared with ``==``.
+    """
+
+    __slots__ = ("_window", "_arrival", "_sorted")
+
+    def __init__(self, scores: Iterable[float], window: Optional[int]) -> None:
+        self._window = window
+        # deque(maxlen=window) keeps exactly the trailing window of the
+        # seed, matching the previous list[-window:] semantics.
+        self._arrival = deque((float(s) for s in scores), maxlen=window)
+        self._sorted = sorted(self._arrival)
+
+    def append(self, score: float) -> None:
+        score = float(score)
+        if self._window is not None and len(self._arrival) == self._window:
+            oldest = self._arrival[0]
+            del self._sorted[bisect.bisect_left(self._sorted, oldest)]
+        self._arrival.append(score)
+        bisect.insort(self._sorted, score)
+
+    def sorted_array(self) -> np.ndarray:
+        return np.asarray(self._sorted, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._arrival)
 
 
 class AdaptiveConformalPredictor:
@@ -84,7 +121,7 @@ class AdaptiveConformalPredictor:
         self.band_ = QuantileBandRegressor(self.estimator, alpha=self.alpha)
         self.band_.fit(X, y)
         lower, upper = self.band_.predict_interval(X)
-        self._scores: List[float] = list(cqr_score(y, lower, upper))
+        self._scores = _SortedScoreWindow(cqr_score(y, lower, upper), self.window)
         self._alpha_t = self.alpha
         self.alpha_history_: List[float] = [self.alpha]
         self.error_history_: List[bool] = []
@@ -132,7 +169,7 @@ class AdaptiveConformalPredictor:
             getattr(band, "template", None), alpha=alpha, gamma=gamma, window=window
         )
         predictor.band_ = band
-        predictor._scores = [float(s) for s in scores]
+        predictor._scores = _SortedScoreWindow(scores, window)
         predictor._alpha_t = alpha
         predictor.alpha_history_ = [alpha]
         predictor.error_history_ = []
@@ -145,23 +182,34 @@ class AdaptiveConformalPredictor:
         return self._alpha_t
 
     def _current_scores(self) -> np.ndarray:
-        scores = self._scores
-        if self.window is not None:
-            scores = scores[-self.window :]
-        return np.asarray(scores)
+        """Windowed calibration scores, in ascending order.
+
+        The ordering changed from arrival order to ascending when the
+        buffer became sorted; every consumer (conformal quantile, max)
+        is order-independent, so the values are unchanged bit-for-bit.
+        """
+        return self._scores.sorted_array()
+
+    def _correction(self) -> float:
+        """Conformal margin of the score window at the current ``α_t``.
+
+        alpha_t may drift outside (0, 1) under heavy drift; the quantile
+        lookup is clamped while the raw alpha_t keeps the dynamics.
+        When the window is too small for the requested rank the most
+        conservative finite correction (the max score, last element of
+        the sorted window) stands in.
+        """
+        scores = self._current_scores()
+        effective = float(np.clip(self._alpha_t, 1e-6, 1.0 - 1e-6))
+        correction = conformal_quantile_sorted(scores, effective)
+        if not np.isfinite(correction):
+            correction = float(scores[-1])
+        return correction
 
     def predict_interval(self, X: np.ndarray) -> PredictionIntervals:
         """Interval at the *current* adapted level ``α_t``."""
         check_fitted(self, "band_")
-        scores = self._current_scores()
-        # alpha_t may drift outside (0, 1) under heavy drift; clamp the
-        # quantile lookup while keeping the raw alpha_t for the dynamics.
-        effective = float(np.clip(self._alpha_t, 1e-6, 1.0 - 1e-6))
-        correction = conformal_quantile(scores, effective)
-        if not np.isfinite(correction):
-            # Not enough history for the requested level: fall back to the
-            # most conservative finite correction (the max score).
-            correction = float(np.max(scores))
+        correction = self._correction()
         lower, upper = self.band_.predict_interval(X)
         lower = lower - correction
         upper = upper + correction
@@ -175,20 +223,35 @@ class AdaptiveConformalPredictor:
     def update(self, X: np.ndarray, y: np.ndarray) -> None:
         """Observe true labels for ``X`` and adapt ``α_t``.
 
-        Each observed sample contributes one α update (processed in
-        order) and its CQR score joins the calibration history.
+        Rows are processed strictly in order and each is judged against
+        the interval at its *then-current* ``α_t`` -- the margin moves
+        row by row, exactly as if the batch had arrived one chip at a
+        time.  Judging a whole batch against the entry margin instead
+        removes the within-batch feedback the Gibbs-Candès analysis
+        rests on: on a homogeneous batch every row repeats the same
+        err, the α updates compound linearly, and a large enough batch
+        ramps ``α_t`` far past the (0, 1) band, collapsing (or
+        exploding) the intervals the *next* batch is served with.  The
+        sorted score window keeps the per-row margin an O(log n)
+        bisection rather than an O(n) partition, which is what makes
+        the row-at-a-time protocol affordable.  Each row's CQR score
+        joins the calibration history as it is consumed.
         """
         X, y = check_X_y(X, y)
-        intervals = self.predict_interval(X)
-        covered = intervals.contains(y)
         lower, upper = self.band_.predict_interval(X)
         new_scores = cqr_score(y, lower, upper)
-        for score, was_covered in zip(new_scores, covered):
+        for i, score in enumerate(new_scores):
+            correction = self._correction()
+            low = lower[i] - correction
+            high = upper[i] + correction
+            if low > high:
+                low = high = (low + high) / 2.0
+            was_covered = bool(low <= y[i] <= high)
             error = 0.0 if was_covered else 1.0
             self._alpha_t = self._alpha_t + self.gamma * (self.alpha - error)
-            self._scores.append(float(score))
+            self._scores.append(score)
             self.alpha_history_.append(self._alpha_t)
-            self.error_history_.append(bool(not was_covered))
+            self.error_history_.append(not was_covered)
 
     def long_run_coverage(self) -> float:
         """Fraction of streamed labels covered so far."""

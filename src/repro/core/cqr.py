@@ -124,6 +124,12 @@ class ConformalizedQuantileRegressor(BaseRegressor):
         # AdaptiveConformalPredictor.from_fitted), whichever variant
         # computes the margins below.
         self.calibration_scores_ = cqr_score(y_cal, cal_lower, cal_upper)
+        # The calibration *features* are the frozen reference window for
+        # the shift defense layer: covariate sentinels compare serving
+        # batches against them, and weighted recalibration estimates the
+        # density ratio from them (repro.shift).  They never flow into a
+        # fit -- only into shift detectors and ratio estimation.
+        self.calibration_features_ = np.array(X[cal_idx])
         if self.symmetric:
             scores = self.calibration_scores_
             self.quantile_low_ = conformal_quantile(scores, self.alpha)

@@ -17,7 +17,8 @@ scalar; we re-derive group corrections from the underlying band.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional
+import warnings
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +35,26 @@ from repro.models.base import (
 )
 from repro.models.quantile import QuantileBandRegressor
 
-__all__ = ["MondrianConformalRegressor"]
+__all__ = ["MondrianConformalRegressor", "MondrianFallbackWarning"]
+
+
+class MondrianFallbackWarning(UserWarning):
+    """A prediction used the marginal fallback for unseen group keys.
+
+    The per-group guarantee does not apply to those rows -- they only
+    get the *marginal* quantile -- so a fleet gap (a wafer zone or
+    corner absent from calibration) must be visible, not silent.  The
+    offending keys are carried on :attr:`group_keys` for programmatic
+    consumers (e.g. serving audits); the message lists them for humans.
+    """
+
+    def __init__(self, group_keys: Tuple[Hashable, ...]) -> None:
+        self.group_keys = tuple(group_keys)
+        super().__init__(
+            "no calibration data for group keys "
+            f"{sorted(str(k) for k in self.group_keys)}; falling back to the "
+            "marginal quantile, which carries no per-group guarantee"
+        )
 
 
 class MondrianConformalRegressor(BaseRegressor):
@@ -125,6 +145,22 @@ class MondrianConformalRegressor(BaseRegressor):
             ]
         )
 
+    def unseen_group_keys(self, X: np.ndarray) -> Tuple[Hashable, ...]:
+        """Group keys in ``X`` that have no calibrated quantile.
+
+        Rows with these keys would receive the marginal fallback (and a
+        :class:`MondrianFallbackWarning`) from :meth:`predict_interval`.
+        Sorted by string form for determinism.
+        """
+        check_fitted(self, "group_quantiles_")
+        groups = np.asarray(self.group_function(np.asarray(X, dtype=np.float64)))
+        unseen = {
+            _hashable(key)
+            for key in np.unique(groups)
+            if _hashable(key) not in self.group_quantiles_
+        }
+        return tuple(sorted(unseen, key=str))
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, "group_quantiles_")
         if self.point_model_ is not None:
@@ -135,10 +171,25 @@ class MondrianConformalRegressor(BaseRegressor):
         """Per-sample interval using the sample's group quantile.
 
         A group whose calibration quantile is infinite (too few members)
-        raises rather than silently emitting unbounded intervals.
+        raises rather than silently emitting unbounded intervals.  Rows
+        whose group was never seen at calibration get the marginal
+        fallback quantile and trigger one :class:`MondrianFallbackWarning`
+        per call carrying the offending keys.
         """
         check_fitted(self, "group_quantiles_")
         groups = np.asarray(self.group_function(np.asarray(X, dtype=np.float64)))
+        unseen = tuple(
+            sorted(
+                {
+                    _hashable(key)
+                    for key in np.unique(groups)
+                    if _hashable(key) not in self.group_quantiles_
+                },
+                key=str,
+            )
+        )
+        if unseen:
+            warnings.warn(MondrianFallbackWarning(unseen), stacklevel=2)
         corrections = self._quantile_for(groups)
         if not np.all(np.isfinite(corrections)):
             bad = {str(g) for g, c in zip(groups, corrections) if not np.isfinite(c)}

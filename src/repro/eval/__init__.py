@@ -19,6 +19,11 @@ crashing and hanging workers mid-grid, and
 :func:`run_serving_campaign` soaks the full :mod:`repro.serve` stack
 (registry, hot-swap, admission control, recalibration) under injected
 artifact corruption, SIGKILLed workers, and covariate drift.
+:func:`run_shift_campaign` drives the shift defense layer
+(:mod:`repro.shift` sentinels, weighted conformal repair, per-zone
+monitors) through a multi-fab fleet: a new-fab process corner, a
+calendar-time corner drift, and a sensor re-referencing -- see
+``docs/SHIFT.md``.
 """
 
 from repro.eval.diagnostics import (
@@ -59,11 +64,14 @@ from repro.eval.stress import (
     ExecutionStressReport,
     ExecutionStressResult,
     ServingStressReport,
+    ShiftPhaseResult,
+    ShiftStressReport,
     StressReport,
     StressResult,
     run_execution_campaign,
     run_fault_campaign,
     run_serving_campaign,
+    run_shift_campaign,
 )
 
 __all__ = [
@@ -80,6 +88,8 @@ __all__ = [
     "PointCVResult",
     "REGION_METHOD_NAMES",
     "ServingStressReport",
+    "ShiftPhaseResult",
+    "ShiftStressReport",
     "StressReport",
     "StressResult",
     "coverage_width_criterion",
@@ -102,5 +112,6 @@ __all__ = [
     "run_region_experiment",
     "run_region_grid",
     "run_serving_campaign",
+    "run_shift_campaign",
     "write_report",
 ]

@@ -56,11 +56,14 @@ __all__ = [
     "ExecutionStressReport",
     "ExecutionStressResult",
     "ServingStressReport",
+    "ShiftPhaseResult",
+    "ShiftStressReport",
     "StressReport",
     "StressResult",
     "run_execution_campaign",
     "run_fault_campaign",
     "run_serving_campaign",
+    "run_shift_campaign",
 ]
 
 
@@ -746,4 +749,597 @@ def run_serving_campaign(
         ),
         final_state=service.state.value,
         compiled_kernels=compiled_kernels,
+    )
+
+
+# ---------------------------------------------------------------------------
+# distribution-shift campaign (new fab, corner drift, sensor recalibration)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShiftPhaseResult:
+    """Outcome of one phase of the distribution-shift campaign.
+
+    Attributes
+    ----------
+    phase:
+        Phase name (``control`` / ``new_fab`` / ``corner_drift`` /
+        ``sensor_recal``).
+    n_lots:
+        Lots served during the phase (pre-repair traffic only).
+    coverage:
+        Worst per-lot empirical coverage of the phase *before* any
+        repair -- the damage the shift inflicted.
+    mean_width:
+        Mean served interval width (V) over the phase's pre-repair lots.
+    exchangeability_alarm, covariate_alarm:
+        Whether each sentinel fired during the phase.
+    detection_latency:
+        Labelled observations (post phase start) consumed before the
+        first sentinel fired; ``None`` when no sentinel fired.
+    repair:
+        Recovery path taken: ``none`` (nothing to repair),
+        ``weighted`` (density-ratio-weighted recalibration accepted),
+        ``adaptive`` (online recalibration republished by the
+        :class:`~repro.serve.recalibration.DriftRecalibrator`), or
+        ``refused+refit`` (weighted repair refused on degenerate
+        weights, recovered by a full refit on fresh labels).
+    ess:
+        Effective sample size of the accepted density-ratio weights
+        (``None`` when no weighted repair was accepted).
+    post_repair_coverage:
+        Coverage on a held-out lot of the *same shifted distribution*
+        served after the repair (``None`` for the control phase).
+    state:
+        Service readiness at phase end.
+    """
+
+    phase: str
+    n_lots: int
+    coverage: float
+    mean_width: float
+    exchangeability_alarm: bool
+    covariate_alarm: bool
+    detection_latency: Optional[int]
+    repair: str
+    ess: Optional[float]
+    post_repair_coverage: Optional[float]
+    state: str
+
+
+@dataclass(frozen=True)
+class ShiftStressReport:
+    """Full audit of one distribution-shift campaign.
+
+    ``report.ok()`` is the single pass/fail the CI smoke job asserts:
+    the control phase must stay quiet at nominal coverage, every
+    shifted phase must be detected within the latency budget and
+    repaired back above ``target - tolerance``, no phase may fall
+    below the worst-case floor, every downgrade must carry a reason
+    code, and the service must end the campaign ``READY``.
+    """
+
+    target_coverage: float
+    tolerance: float
+    detection_budget: int
+    worst_coverage_floor: float
+    phases: Tuple[ShiftPhaseResult, ...]
+    n_recalibrations: int
+    n_versions: int
+    downgrades: Tuple[Tuple[str, str], ...]
+    final_state: str
+
+    def phase(self, name: str) -> ShiftPhaseResult:
+        """The result of one named phase."""
+        for result in self.phases:
+            if result.phase == name:
+                return result
+        raise KeyError(f"no phase named {name!r}")
+
+    def ok(self) -> bool:
+        """Whether every campaign invariant held."""
+        floor = self.target_coverage - self.tolerance
+        control = self.phase("control")
+        new_fab = self.phase("new_fab")
+        drift = self.phase("corner_drift")
+        recal = self.phase("sensor_recal")
+        detected = (
+            new_fab.detection_latency is not None
+            and new_fab.detection_latency <= self.detection_budget
+            and recal.detection_latency is not None
+            and recal.detection_latency <= self.detection_budget
+        )
+        repaired = (
+            new_fab.repair == "weighted"
+            and new_fab.post_repair_coverage is not None
+            and new_fab.post_repair_coverage >= floor
+            and drift.repair == "adaptive"
+            and drift.post_repair_coverage is not None
+            and drift.post_repair_coverage >= floor
+            and recal.repair == "refused+refit"
+            and recal.post_repair_coverage is not None
+            and recal.post_repair_coverage >= floor
+        )
+        return (
+            not control.exchangeability_alarm
+            and not control.covariate_alarm
+            and control.coverage >= floor
+            and new_fab.exchangeability_alarm
+            and new_fab.covariate_alarm
+            and recal.covariate_alarm
+            and not recal.exchangeability_alarm
+            and detected
+            and repaired
+            and self.n_recalibrations >= 1
+            and min(r.coverage for r in self.phases) >= self.worst_coverage_floor
+            and all(reason for reason, _ in self.downgrades)
+            and self.final_state == "ready"
+        )
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Monospace phase table plus the downgrade audit trail."""
+        rows = [
+            [
+                r.phase,
+                r.n_lots,
+                r.coverage * 100.0,
+                r.mean_width * 1e3,
+                "yes" if r.exchangeability_alarm else "no",
+                "yes" if r.covariate_alarm else "no",
+                "-" if r.detection_latency is None else r.detection_latency,
+                r.repair,
+                "-" if r.ess is None else round(r.ess, 1),
+                "-"
+                if r.post_repair_coverage is None
+                else round(r.post_repair_coverage * 100.0, 1),
+                r.state,
+            ]
+            for r in self.phases
+        ]
+        table = format_table(
+            [
+                "Phase",
+                "Lots",
+                "Coverage (%)",
+                "Len (mV)",
+                "Exch",
+                "Covar",
+                "Latency",
+                "Repair",
+                "ESS",
+                "Post (%)",
+                "State",
+            ],
+            rows,
+            title=title or "Distribution-shift campaign report",
+        )
+        audit = "\n".join(
+            f"  [{reason}] {detail}" for reason, detail in self.downgrades
+        )
+        return table + "\nDowngrade audit:\n" + (audit or "  (none)")
+
+
+def run_shift_campaign(
+    registry_root: Union[str, Path],
+    n_chips: int = 260,
+    n_estimators: int = 60,
+    corner_offset_v: float = 0.015,
+    drift_v_per_khour: float = 0.003,
+    drift_hours: Sequence[int] = (2000, 4000, 6000),
+    recal_offset_sigma: float = 8.0,
+    detector_stride: int = 8,
+    ratio_stride: int = 16,
+    ratio_ridge: float = 4.0,
+    min_ess: float = 10.0,
+    min_recal_labels: Optional[int] = None,
+    batch_size: int = 65,
+    alpha: float = 0.1,
+    tolerance: float = 0.05,
+    detection_budget: int = 150,
+    worst_coverage_floor: float = 0.6,
+    seed: int = 2024,
+) -> ShiftStressReport:
+    """Drive a guarded serving stack through three distribution shifts.
+
+    Generates a multi-fab fleet with :class:`~repro.silicon.fleet.
+    FleetGenerator` (one product, a reference fab, and a skewed fab at a
+    ``corner_offset_v`` Vth process corner), trains a
+    :class:`~repro.robust.flow.RobustVminFlow` on one reference lot,
+    publishes it, and serves through a
+    :class:`~repro.serve.service.VminServingService` carrying a
+    :class:`~repro.serve.shiftguard.ShiftGuard`.  Four phases:
+
+    1. **control** -- two fresh reference-fab lots (exchangeable with
+       the training lot); every sentinel must stay quiet and coverage
+       must hold at nominal -- the false-alarm baseline;
+    2. **new_fab** -- a lot from the skewed fab: the exchangeability
+       martingale and the covariate detector must both fire within the
+       detection budget, the service must degrade under audited reason
+       codes, and :meth:`~repro.serve.service.VminServingService.
+       repair_shift` must restore coverage on a held-out skewed lot via
+       weighted conformal recalibration;
+    3. **corner_drift** -- the reference fab's corner drifts with
+       calendar time (``drift_v_per_khour``); realized coverage decays
+       across the drift lots, the coverage monitor alarms, and the
+       :class:`~repro.serve.recalibration.DriftRecalibrator` must
+       republish an adaptively recalibrated version that restores
+       coverage at the drifted corner;
+    4. **sensor_recal** -- a firmware re-referencing adds a constant
+       ``recal_offset_sigma``-sigma offset to one ROD flavour: the
+       covariate detector must fire while the martingale stays quiet
+       (the labels still agree with the model -- only the features
+       moved), the weighted repair must *refuse* on degenerate weights,
+       and recovery comes from a full refit on the re-referenced lot.
+
+    Label feedback streams in ``batch_size``-row batches (the ATE
+    delivers sub-lot batches, and sentinel latency is only meaningful
+    at that granularity).  ``min_recal_labels`` defaults to two and a
+    half lots' worth of labels so the drift phase republishes exactly
+    once, on the full drift evidence -- republishing eagerly mid-drift
+    makes the online recalibration overshoot on its own wide margins.
+    Everything is seeded; the same arguments reproduce the same report
+    bit for bit.  Returns a :class:`ShiftStressReport`; ``report.ok()``
+    is the single pass/fail the CI smoke job asserts.
+    """
+    # Deferred imports, mirroring run_serving_campaign: keep the eval
+    # package importable without the serving stack.
+    from repro.models.oblivious import ObliviousBoostingRegressor
+    from repro.robust.flow import RobustVminFlow
+    from repro.serve.health import ReasonCode
+    from repro.serve.recalibration import DriftRecalibrator
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.service import VminServingService
+    from repro.serve.shiftguard import ShiftGuard
+    from repro.shift import (
+        CovariateShiftDetector,
+        DegenerateWeightsError,
+        LogisticDensityRatio,
+    )
+    from repro.silicon.fleet import (
+        CornerDrift,
+        FabProfile,
+        FleetGenerator,
+        ProcessCorner,
+        ProductSpec,
+    )
+
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if min_recal_labels is None:
+        # Two and a half lots of labels: the drift recalibrator then
+        # republishes exactly once, at the end of the drift stream, with
+        # the full excursion in its adaptive state.  Republishing after
+        # every lot lets the next lot's feedback run against the freshly
+        # widened intervals, and the Gibbs-Candes update then overshoots
+        # (alpha_t climbs far above alpha on a pure over-coverage
+        # stream, collapsing the following version's intervals).
+        min_recal_labels = int(2.5 * n_chips)
+
+    fleet = FleetGenerator(
+        products=[ProductSpec("alpha", n_chips=n_chips)],
+        fabs=[
+            FabProfile(
+                "ref",
+                ProcessCorner("nominal"),
+                drift=CornerDrift(vth_v_per_khour=drift_v_per_khour),
+            ),
+            FabProfile(
+                "newfab", ProcessCorner("slow", vth_offset_v=corner_offset_v)
+            ),
+        ],
+        seed=seed,
+    )
+
+    def lot_data(fab: str, hours: int = 0, lot_index: int = 0):
+        """One generated lot as (lot, features, labels)."""
+        lot = fleet.lot(
+            "alpha",
+            fab,
+            calendar_hours=hours,
+            lot_index=lot_index,
+            read_points=(0,),
+            temperatures=(25.0,),
+        )
+        features, _ = lot.dataset.features(0)
+        return lot, features, lot.dataset.vmin[(25.0, 0)]
+
+    train_lot, X_train, y_train = lot_data("ref", lot_index=0)
+    feature_names = train_lot.dataset.features(0)[1]
+    monitor_columns = np.asarray(
+        [
+            index
+            for index, name in enumerate(feature_names)
+            if not name.startswith("par_")
+        ],
+        dtype=np.int64,
+    )
+    f0_columns = np.asarray(
+        [
+            index
+            for index, name in enumerate(feature_names)
+            if name.startswith("rod_f0")
+        ],
+        dtype=np.int64,
+    )
+    ratio_columns = monitor_columns[::ratio_stride]
+
+    def make_flow() -> RobustVminFlow:
+        """The campaign's flow configuration (shared by train and refit)."""
+        return RobustVminFlow(
+            base_model=ObliviousBoostingRegressor(
+                n_estimators=n_estimators,
+                max_bins=16,
+                quantile=0.5,
+                random_state=0,
+            ),
+            alpha=alpha,
+            random_state=0,
+            monitor_window=40,
+            monitor_min_observations=20,
+        )
+
+    flow = make_flow()
+    flow.fit(
+        X_train,
+        y_train,
+        feature_names=feature_names,
+        monitor_columns=monitor_columns,
+    )
+
+    guard = ShiftGuard(
+        detector=CovariateShiftDetector(
+            psi_threshold=1.0, alarm_fraction=0.10, min_observations=40
+        ),
+        feature_columns=monitor_columns[::detector_stride],
+    )
+    registry = ModelRegistry(Path(registry_root))
+    registry.publish(flow, reason="published", metadata={"phase": "bootstrap"})
+    service = VminServingService(registry, shift_guard=guard)
+    service.start()
+
+    def ratio_estimator() -> LogisticDensityRatio:
+        """A fresh, seeded density-ratio template per repair attempt."""
+        return LogisticDensityRatio(ridge=ratio_ridge, random_state=seed)
+
+    def stream_observe(X, y, zones=None) -> None:
+        """Feed label feedback in ATE-sized batches.
+
+        Real test floors deliver labels a handful of wafers at a time,
+        and sentinel detection latency is only meaningful at that
+        granularity: the PSI detector evaluates once per ``observe``
+        batch, so feeding a whole lot at once would quantise its latency
+        to the lot size.
+        """
+        for start in range(0, len(y), batch_size):
+            stop = start + batch_size
+            service.observe(
+                X[start:stop],
+                y[start:stop],
+                zones=None if zones is None else zones[start:stop],
+            )
+
+    def sentinel_latency(baseline: int) -> Optional[int]:
+        """Observations past ``baseline`` before the first sentinel fired."""
+        fired = []
+        if guard.martingale_ is not None and guard.martingale_.alarms_:
+            fired.append(guard.martingale_.alarms_[0].n_observed - baseline)
+        if guard.detector_ is not None and guard.detector_.alarms_:
+            fired.append(guard.detector_.alarms_[0].n_observed - baseline)
+        eligible = [latency for latency in fired if latency > 0]
+        return min(eligible) if eligible else None
+
+    def reset_to_golden(phase: str) -> None:
+        """Republish the pristine bundle and swap onto it (fresh guard).
+
+        The service only ever mutates the *unpickled* copies it loads
+        from the registry, so the in-process ``flow`` still holds the
+        freshly fitted state; republishing it starts the next phase
+        from a clean bundle with every sentinel re-baselined.
+        """
+        registry.publish(flow, reason="republished", metadata={"phase": phase})
+        service.hot_swap()
+
+    phases = []
+
+    # Phase 1: control -- fresh reference lots, everything must stay quiet.
+    control_coverages = []
+    control_widths = []
+    for lot_index in (1, 2):
+        lot, X, y = lot_data("ref", lot_index=lot_index)
+        result = service.score(X)
+        control_coverages.append(result.prediction.coverage(y))
+        control_widths.append(result.prediction.mean_width)
+        stream_observe(X, y, zones=lot.zones(3))
+    control_verdict = guard.verdict()
+    phases.append(
+        ShiftPhaseResult(
+            phase="control",
+            n_lots=2,
+            coverage=float(min(control_coverages)),
+            mean_width=float(np.mean(control_widths)),
+            exchangeability_alarm=control_verdict.exchangeability_alarm,
+            covariate_alarm=control_verdict.covariate_alarm,
+            detection_latency=sentinel_latency(0),
+            repair="none",
+            ess=None,
+            post_repair_coverage=None,
+            state=service.state.value,
+        )
+    )
+
+    # Phase 2: new fab -- both sentinels fire, weighted repair restores.
+    phase_start = guard.n_observed_
+    lot, X_shift, y_shift = lot_data("newfab", lot_index=0)
+    result = service.score(X_shift)
+    new_fab_coverage = result.prediction.coverage(y_shift)
+    new_fab_width = result.prediction.mean_width
+    stream_observe(X_shift, y_shift, zones=lot.zones(3))
+    new_fab_verdict = guard.verdict()
+    new_fab_latency = sentinel_latency(phase_start)
+    ess: Optional[float] = None
+    try:
+        ess = service.repair_shift(
+            X_shift,
+            ratio_columns=ratio_columns,
+            min_ess=min_ess,
+            ratio_estimator=ratio_estimator(),
+        )
+        new_fab_repair = "weighted"
+    except DegenerateWeightsError:
+        new_fab_repair = "refused"
+    _, X_held, y_held = lot_data("newfab", lot_index=1)
+    new_fab_post = service.score(X_held).prediction.coverage(y_held)
+    phases.append(
+        ShiftPhaseResult(
+            phase="new_fab",
+            n_lots=1,
+            coverage=float(new_fab_coverage),
+            mean_width=float(new_fab_width),
+            exchangeability_alarm=new_fab_verdict.exchangeability_alarm,
+            covariate_alarm=new_fab_verdict.covariate_alarm,
+            detection_latency=new_fab_latency,
+            repair=new_fab_repair,
+            ess=ess,
+            post_repair_coverage=float(new_fab_post),
+            state=service.state.value,
+        )
+    )
+
+    # Phase 3: corner drift -- realized coverage decays with calendar
+    # time; the coverage monitor alarms and the DriftRecalibrator must
+    # republish an adaptively recalibrated version.
+    reset_to_golden("corner_drift")
+    recalibrator = DriftRecalibrator(service, min_labels=min_recal_labels)
+    audit_start = len(service.health.transitions_)
+    drift_coverages = []
+    drift_widths = []
+    for hours in drift_hours:
+        _, X_drift, y_drift = lot_data("ref", hours=hours, lot_index=2)
+        result = service.score(X_drift)
+        drift_coverages.append(result.prediction.coverage(y_drift))
+        drift_widths.append(result.prediction.mean_width)
+        recalibrator.ingest(X_drift, y_drift)
+    # A mid-phase republication re-arms (and thereby resets) the
+    # sentinels, so the phase's alarm evidence is read from the
+    # persistent health audit trail rather than the live guard.
+    drift_records = service.health.transitions_[audit_start:]
+    drift_exchangeability = any(
+        record.reason is ReasonCode.EXCHANGEABILITY_ALARM
+        for record in drift_records
+    )
+    drift_covariate = any(
+        record.reason is ReasonCode.COVARIATE_SHIFT for record in drift_records
+    )
+    # Post-repair check at the drifted corner: the republished adaptive
+    # flow must hold coverage where the stale bundle was failing.
+    _, X_post, y_post = lot_data(
+        "ref", hours=int(drift_hours[-1]), lot_index=3
+    )
+    drift_post = service.score(X_post).prediction.coverage(y_post)
+    # The excursion is then corrected at the fab: recovery traffic from
+    # the nominal corner brings the rolling coverage back to target.
+    for lot_index in (4, 5):
+        _, X_rec, y_rec = lot_data("ref", hours=0, lot_index=lot_index)
+        service.score(X_rec)
+        stream_observe(X_rec, y_rec)
+    phases.append(
+        ShiftPhaseResult(
+            phase="corner_drift",
+            n_lots=len(tuple(drift_hours)),
+            coverage=float(min(drift_coverages)),
+            mean_width=float(np.mean(drift_widths)),
+            exchangeability_alarm=drift_exchangeability,
+            covariate_alarm=drift_covariate,
+            # Latency in observations is not well defined across the
+            # mid-phase re-arm; the audit trail carries the ordering.
+            detection_latency=None,
+            repair=(
+                "adaptive" if recalibrator.events_ else "none"
+            ),
+            ess=None,
+            post_repair_coverage=float(drift_post),
+            state=service.state.value,
+        )
+    )
+
+    # Phase 4: sensor recalibration -- a constant re-referencing offset
+    # on one ROD flavour.  Features move, labels do not: the covariate
+    # detector must fire while the martingale stays quiet, the weighted
+    # repair must refuse (degenerate weights), and recovery is a refit.
+    reset_to_golden("sensor_recal")
+    recal_offset = recal_offset_sigma * X_train[:, f0_columns].std(axis=0)
+    recal_start = guard.n_observed_
+
+    def recalibrated_lot(lot_index: int):
+        """A reference lot with the f0 ROD block re-referenced."""
+        lot, X, y = lot_data("ref", lot_index=lot_index)
+        X = np.array(X)
+        X[:, f0_columns] += recal_offset
+        return lot, X, y
+
+    lot, X_recal, y_recal = recalibrated_lot(6)
+    result = service.score(X_recal)
+    recal_coverage = result.prediction.coverage(y_recal)
+    recal_width = result.prediction.mean_width
+    stream_observe(X_recal, y_recal, zones=lot.zones(3))
+    recal_verdict = guard.verdict()
+    recal_latency = sentinel_latency(recal_start)
+    recal_repair = "weighted"
+    try:
+        service.repair_shift(
+            X_recal,
+            ratio_columns=ratio_columns,
+            min_ess=min_ess,
+            ratio_estimator=ratio_estimator(),
+        )
+    except DegenerateWeightsError:
+        # The honest path: refit on the re-referenced lot (labels are
+        # in hand -- the same lot was just measured) and republish.
+        refit = make_flow()
+        refit.fit(
+            X_recal,
+            y_recal,
+            feature_names=feature_names,
+            monitor_columns=monitor_columns,
+        )
+        registry.publish(
+            refit, reason="refit", metadata={"phase": "sensor_recal"}
+        )
+        service.hot_swap()
+        recal_repair = "refused+refit"
+    _, X_recal_held, y_recal_held = recalibrated_lot(7)
+    recal_post = service.score(X_recal_held).prediction.coverage(
+        y_recal_held
+    )
+    stream_observe(X_recal_held, y_recal_held)
+    phases.append(
+        ShiftPhaseResult(
+            phase="sensor_recal",
+            n_lots=1,
+            coverage=float(recal_coverage),
+            mean_width=float(recal_width),
+            exchangeability_alarm=recal_verdict.exchangeability_alarm,
+            covariate_alarm=recal_verdict.covariate_alarm,
+            detection_latency=recal_latency,
+            repair=recal_repair,
+            ess=None,
+            post_repair_coverage=float(recal_post),
+            state=service.state.value,
+        )
+    )
+
+    return ShiftStressReport(
+        target_coverage=1.0 - float(alpha),
+        tolerance=float(tolerance),
+        detection_budget=int(detection_budget),
+        worst_coverage_floor=float(worst_coverage_floor),
+        phases=tuple(phases),
+        n_recalibrations=len(recalibrator.events_),
+        n_versions=len(registry.versions()),
+        downgrades=tuple(
+            (record.reason.value, record.detail)
+            for record in service.health.downgrades()
+        ),
+        final_state=service.state.value,
     )

@@ -19,12 +19,14 @@ loop when ground-truth Vmin measurements trickle back from the ATE.
 
 from __future__ import annotations
 
+import copy
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.adaptive import AdaptiveConformalPredictor
 from repro.core.intervals import PredictionIntervals
+from repro.core.scores import cqr_score
 from repro.flow.pipeline import VminPredictionFlow
 from repro.models.base import BaseRegressor, check_fitted, check_X_y, clone
 from repro.robust.fallback import (
@@ -36,6 +38,8 @@ from repro.robust.fallback import (
 from repro.robust.guard import FeatureHealthGuard, HealthReport
 from repro.robust.imputation import TrainStatImputer
 from repro.robust.monitoring import CoverageAlarm, CoverageMonitor
+from repro.shift.weighted import WeightedBandCalibrator
+from repro.shift.weights import LogisticDensityRatio
 
 __all__ = ["RobustVminFlow"]
 
@@ -221,6 +225,8 @@ class RobustVminFlow:
         self.n_features_in_ = d
         self.recalibrations_ = 0
         self._adaptive_active = False
+        self.weighted_: Optional[WeightedBandCalibrator] = None
+        self._weighted_active = False
         return self
 
     # -- serving ---------------------------------------------------------------
@@ -275,10 +281,146 @@ class RobustVminFlow:
         check_fitted(self, "primary_")
         return self._adaptive_active
 
+    @property
+    def weighted_active(self) -> bool:
+        """True while weighted (covariate-shift-repaired) margins serve."""
+        check_fitted(self, "primary_")
+        return self._weighted_active
+
     def _primary_intervals(self, X_clean: np.ndarray):
+        # Weighted repair outranks the adaptive path: it is an explicit,
+        # audited operator action targeting a diagnosed covariate shift,
+        # whereas adaptation is the blind feedback controller.
+        if self._weighted_active:
+            return self.weighted_.predict_interval(X_clean)
         if self._adaptive_active:
             return self.adaptive_.predict_interval(X_clean)
         return self.primary_.predict_interval(X_clean)
+
+    # -- shift-defense accessors ----------------------------------------------
+    def calibration_scores(self) -> np.ndarray:
+        """The primary pipeline's CQR calibration scores (a copy).
+
+        These are the reference sample an exchangeability sentinel
+        (:class:`repro.shift.ConformalTestMartingale`) is armed with.
+        """
+        check_fitted(self, "primary_")
+        return np.array(self.primary_.cqr_.calibration_scores_)
+
+    def calibration_features(self) -> np.ndarray:
+        """The primary pipeline's calibration feature rows (a copy).
+
+        The frozen covariate reference window for shift detectors and
+        density-ratio estimation.  Raises ``RuntimeError`` for bundles
+        fitted before the shift defense layer existed (no stored
+        calibration features to reference).
+        """
+        check_fitted(self, "primary_")
+        features = getattr(self.primary_.cqr_, "calibration_features_", None)
+        if features is None:
+            raise RuntimeError(
+                "this model predates the shift defense layer and stored no "
+                "calibration features; refit to enable shift detection"
+            )
+        return np.array(features)
+
+    def conformity_scores(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """CQR conformity scores of labelled chips against the reference band.
+
+        Always scored against the *primary* band -- never the adaptive
+        or weighted variants -- because the exchangeability sentinel
+        compares against calibration scores from that same band; mixing
+        bands would alarm on our own recalibration instead of on the
+        data.
+        """
+        check_fitted(self, "primary_")
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+        if not np.all(np.isfinite(y)):
+            raise ValueError("y contains NaN or infinite values")
+        X_clean, _ = self._sanitize(X)
+        if X_clean.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"X and y have inconsistent lengths: {X_clean.shape[0]} vs "
+                f"{y.shape[0]}"
+            )
+        lower, upper = self.primary_.cqr_.band_.predict_interval(X_clean)
+        return cqr_score(y, lower, upper)
+
+    def recalibrate_weighted(
+        self,
+        X_recent: np.ndarray,
+        ratio_columns: Optional[Sequence[int]] = None,
+        min_ess: float = 10.0,
+        ratio_estimator: Optional[LogisticDensityRatio] = None,
+    ) -> float:
+        """Repair coverage under covariate shift with weighted margins.
+
+        Estimates the density ratio between the calibration features
+        (reference) and ``X_recent`` (the shifted serving batch), builds
+        a :class:`~repro.shift.WeightedBandCalibrator` around the primary
+        band, and switches serving to it.  Returns the effective sample
+        size of the calibration weights.
+
+        Raises :class:`~repro.shift.DegenerateWeightsError` -- leaving
+        the serving path unchanged -- when the weights degenerate below
+        ``min_ess``: a shift that severe cannot be repaired by
+        reweighting and needs a refit (see ``docs/SHIFT.md``).
+
+        Parameters
+        ----------
+        X_recent:
+            Recent serving batch representing the current distribution
+            (sanitized like any serving input).
+        ratio_columns:
+            Columns to estimate the ratio on; defaults to
+            ``monitor_columns_`` (the block that moves under process
+            shift).
+        min_ess:
+            Effective-sample-size floor of the repair.
+        ratio_estimator:
+            Unfitted ratio template (deep-copied); default-configured
+            :class:`~repro.shift.LogisticDensityRatio` when ``None``.
+        """
+        check_fitted(self, "primary_")
+        X_clean, _ = self._sanitize(X_recent)
+        if X_clean.shape[0] < 2:
+            raise ValueError(
+                f"X_recent needs at least 2 rows, got {X_clean.shape[0]}"
+            )
+        columns = (
+            _validate_columns(ratio_columns, self.n_features_in_, "ratio_columns")
+            if ratio_columns is not None
+            else self.monitor_columns_
+        )
+        features = self.calibration_features()
+        ratio = (
+            copy.deepcopy(ratio_estimator)
+            if ratio_estimator is not None
+            else LogisticDensityRatio()
+        )
+        ratio.estimate(features[:, columns], X_clean[:, columns])
+        weights = ratio.weights(features[:, columns])
+        calibrator = WeightedBandCalibrator(
+            self.primary_.cqr_.band_,
+            self.calibration_scores(),
+            weights,
+            alpha=self.alpha,
+            ratio=ratio,
+            ratio_columns=columns,
+            min_ess=min_ess,
+        )
+        self.weighted_ = calibrator
+        self._weighted_active = True
+        self.recalibrations_ += 1
+        return calibrator.ess_
+
+    def reset_weighted(self) -> None:
+        """Return serving to the unweighted margins (e.g. after a refit)."""
+        check_fitted(self, "primary_")
+        self.weighted_ = None
+        self._weighted_active = False
 
     def predict_interval(self, X: np.ndarray) -> DegradedPrediction:
         """Serve calibrated intervals with graceful degradation.
@@ -340,7 +482,12 @@ class RobustVminFlow:
                     f"{overall:.0%} of features imputed; interval widened "
                     f"{inflation:.2f}x"
                 )
-        if self._adaptive_active and not used_fallback:
+        if self._weighted_active and not used_fallback:
+            notes.append(
+                "weighted shift repair active "
+                f"(ESS={self.weighted_.ess_:.1f})"
+            )
+        elif self._adaptive_active and not used_fallback:
             notes.append(
                 f"online recalibration active (alpha_t={self.adaptive_.alpha_t:.3f})"
             )

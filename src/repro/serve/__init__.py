@@ -21,6 +21,14 @@ has been fitted.  Four layers, each usable on its own:
 * :mod:`repro.serve.recalibration` -- :class:`DriftRecalibrator`,
   which makes the flow's in-memory Gibbs-Candès recalibration durable
   by republishing the adapted flow as a new registry version;
+* :mod:`repro.serve.shiftguard` -- :class:`ShiftGuard`: the
+  :mod:`repro.shift` sentinels (exchangeability martingale, covariate
+  PSI detector, per-wafer-zone Mondrian coverage monitors) re-armed on
+  every installed model and driven from the label feedback loop, with
+  new alarms audited as ``EXCHANGEABILITY_ALARM`` /
+  ``COVARIATE_SHIFT`` downgrades and
+  :meth:`VminServingService.repair_shift` as the weighted-conformal
+  recovery (or refusal) path;
 * :mod:`repro.serve.compiled` -- the decision-table kernel adapter:
   :func:`ensure_compiled` upgrades loaded bundles onto the batch-at-once
   inference kernels of :mod:`repro.models.tables`, and
@@ -55,6 +63,7 @@ from repro.serve.service import (
     ServingResult,
     VminServingService,
 )
+from repro.serve.shiftguard import ShiftGuard, ShiftVerdict
 
 __all__ = [
     "DriftRecalibrator",
@@ -72,6 +81,8 @@ __all__ = [
     "ServiceState",
     "ServingConfig",
     "ServingResult",
+    "ShiftGuard",
+    "ShiftVerdict",
     "StateTransition",
     "VminServingService",
     "compiled_summary",

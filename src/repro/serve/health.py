@@ -82,6 +82,8 @@ class ReasonCode(enum.Enum):
     MODEL_VERIFIED = "model_verified"
     COVERAGE_ALARM = "coverage_alarm"
     COVERAGE_RECOVERED = "coverage_recovered"
+    EXCHANGEABILITY_ALARM = "exchangeability_alarm"
+    COVARIATE_SHIFT = "covariate_shift"
     ARTIFACT_CORRUPT = "artifact_corrupt"
     ROLLED_BACK = "rolled_back"
     PARAMETRIC_FALLBACK = "parametric_fallback"
@@ -216,6 +218,8 @@ class HealthStateMachine:
         """
         loss_reasons = {
             ReasonCode.COVERAGE_ALARM,
+            ReasonCode.EXCHANGEABILITY_ALARM,
+            ReasonCode.COVARIATE_SHIFT,
             ReasonCode.ARTIFACT_CORRUPT,
             ReasonCode.ROLLED_BACK,
             ReasonCode.PARAMETRIC_FALLBACK,

@@ -24,7 +24,15 @@ exactly the concerns that belong *outside* the model:
   started with, so a swap drops zero requests by construction;
 * **the label feedback loop** -- :meth:`VminServingService.observe`
   streams measured Vmin back into the flow's coverage monitor and
-  flips the service ``READY <-> DEGRADED`` on alarm/recovery.
+  flips the service ``READY <-> DEGRADED`` on alarm/recovery;
+* **shift defense** -- an optional
+  :class:`~repro.serve.shiftguard.ShiftGuard` rides the same feedback
+  loop: its exchangeability martingale and covariate detector are
+  re-armed on every installed model, new alarms degrade the service
+  under the audited ``EXCHANGEABILITY_ALARM`` / ``COVARIATE_SHIFT``
+  reason codes, and :meth:`VminServingService.repair_shift` applies
+  (or, when the density-ratio weights degenerate, refuses) a
+  weighted-conformal recalibration.
 
 Scoring is exposed as :meth:`~VminServingService.score` (not
 ``predict``): the service is an orchestrator that mutates audit and
@@ -37,7 +45,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Set, Tuple
+from typing import Any, Callable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -54,6 +62,8 @@ from repro.serve.health import (
     ServiceState,
 )
 from repro.serve.registry import ModelRegistry
+from repro.serve.shiftguard import ShiftGuard, ShiftVerdict
+from repro.shift import DegenerateWeightsError
 
 __all__ = [
     "Overloaded",
@@ -187,6 +197,13 @@ class VminServingService:
         the execution-fault injectors of :mod:`repro.robust.faults`
         (``wrapper(fn)(request_id)``), so the soak harness can crash or
         hang scoring attempts without touching service internals.
+    shift_guard:
+        Optional :class:`~repro.serve.shiftguard.ShiftGuard`.  When
+        given, the guard is (re-)armed on every model the fallback
+        chain installs and fed by :meth:`observe`; new sentinel alarms
+        degrade the service under ``EXCHANGEABILITY_ALARM`` /
+        ``COVARIATE_SHIFT``, and :meth:`repair_shift` becomes the
+        audited recovery path.
     """
 
     def __init__(
@@ -195,11 +212,14 @@ class VminServingService:
         config: Optional[ServingConfig] = None,
         parametric_model: Optional[RobustVminFlow] = None,
         task_wrapper: Optional[TaskWrapper] = None,
+        shift_guard: Optional[ShiftGuard] = None,
     ) -> None:
         self.registry = registry
         self.config = config if config is not None else ServingConfig()
         self.parametric_model = parametric_model
         self.task_wrapper = task_wrapper
+        self.shift_guard = shift_guard
+        self.last_shift_verdict_: Optional[ShiftVerdict] = None
         self.health = HealthStateMachine()
         self._model: Optional[RobustVminFlow] = None
         self._version: str = PARAMETRIC_VERSION
@@ -315,6 +335,7 @@ class VminServingService:
                 self.health.note(
                     ReasonCode.MODEL_VERIFIED, f"{record.name} checksum ok"
                 )
+            self._arm_shift_guard()
             return self._level
         if self.parametric_model is not None:
             ensure_compiled(self.parametric_model)
@@ -326,6 +347,7 @@ class VminServingService:
                 ReasonCode.PARAMETRIC_FALLBACK,
                 "registry exhausted; serving in-memory parametric model",
             )
+            self._arm_shift_guard()
             return self._level
         self._model = None
         self._version = PARAMETRIC_VERSION
@@ -374,6 +396,7 @@ class VminServingService:
                 level is FallbackLevel.CURRENT
                 and self.health.state is ServiceState.DEGRADED
                 and not self._coverage_alarmed()
+                and not self._shift_alarmed()
             ):
                 self.health.transition(
                     ServiceState.READY,
@@ -391,6 +414,27 @@ class VminServingService:
                 )
             return self._version
 
+    def _arm_shift_guard(self) -> None:
+        """Re-baseline the shift sentinels on the just-installed model.
+
+        Bundles published before the shift layer existed carry no
+        frozen calibration features; those are served with the guard
+        disarmed rather than refused -- the coverage monitor still
+        protects them, just without the leading signals.
+        """
+        guard = self.shift_guard
+        model = self._model
+        if guard is None:
+            return
+        self.last_shift_verdict_ = None
+        if not isinstance(model, RobustVminFlow) or model.primary_ is None:
+            guard.disarm()
+            return
+        try:
+            guard.arm(model)
+        except RuntimeError:
+            guard.disarm()
+
     def _coverage_alarmed(self) -> bool:
         """Whether the served flow's coverage monitor is in alarm."""
         model = self._model
@@ -398,6 +442,13 @@ class VminServingService:
             isinstance(model, RobustVminFlow)
             and model.primary_ is not None
             and model.monitor_.in_alarm_
+        )
+
+    def _shift_alarmed(self) -> bool:
+        """Whether any armed shift sentinel is currently alarmed."""
+        guard = self.shift_guard
+        return (
+            guard is not None and guard.armed and guard.verdict().any_alarm()
         )
 
     def _snapshot(self) -> Tuple[RobustVminFlow, str, FallbackLevel]:
@@ -496,15 +547,27 @@ class VminServingService:
             self._slots.release()
 
     # -- the feedback loop -----------------------------------------------------
-    def observe(self, X: np.ndarray, y: np.ndarray) -> Optional[Any]:
+    def observe(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        zones: Optional[Sequence] = None,
+    ) -> Optional[Any]:
         """Stream measured labels into the served flow's monitor.
 
         Drives the readiness machine from the monitor's verdicts: a
         coverage alarm degrades the service (reason
         ``COVERAGE_ALARM``); sustained recovery past the target while
         degraded-by-coverage promotes it back (``COVERAGE_RECOVERED``).
-        Returns the alarm fired by this batch, if any.  Zero labels are
-        a no-op, mirroring the flow contract.
+        When a :class:`~repro.serve.shiftguard.ShiftGuard` is armed the
+        same batch also feeds the shift sentinels: a *newly* fired
+        exchangeability or covariate alarm degrades the service under
+        its own reason code, and a new wafer-zone coverage alarm is
+        recorded as an audited ``COVERAGE_ALARM`` note (``zones``
+        labels each chip with its wafer zone; ``None`` skips the
+        per-zone monitors).  Returns the coverage alarm fired by this
+        batch, if any.  Zero labels are a no-op, mirroring the flow
+        contract.
         """
         with self._lock:
             model = self._model
@@ -512,6 +575,15 @@ class VminServingService:
             raise RejectedRequest("no servable model to observe labels on")
         was_alarmed = self._coverage_alarmed()
         alarm = model.observe(X, y)
+        verdict: Optional[ShiftVerdict] = None
+        guard = self.shift_guard
+        if (
+            guard is not None
+            and guard.armed
+            and isinstance(model, RobustVminFlow)
+            and np.asarray(y).shape[0] > 0
+        ):
+            verdict = guard.observe(model, X, y, zones=zones)
         with self._lock:
             if alarm is not None and self.health.state is ServiceState.READY:
                 self.health.transition(
@@ -524,10 +596,133 @@ class VminServingService:
                 and not self._coverage_alarmed()
                 and self.health.state is ServiceState.DEGRADED
                 and self._level is FallbackLevel.CURRENT
+                and not self._shift_alarmed()
             ):
                 self.health.transition(
                     ServiceState.READY,
                     ReasonCode.COVERAGE_RECOVERED,
                     f"rolling coverage {model.rolling_coverage():.1%}",
                 )
+            if verdict is not None:
+                self._audit_shift_verdict(guard, verdict)
+                self.last_shift_verdict_ = verdict
         return alarm
+
+    def _audit_shift_verdict(
+        self, guard: ShiftGuard, verdict: ShiftVerdict
+    ) -> None:
+        """Map newly fired sentinel alarms onto audited health edges.
+
+        Must be called under the service lock.  Only *transitions into*
+        alarm are recorded (the sentinels latch, so every subsequent
+        batch would otherwise re-log the same event).
+        """
+        previous = self.last_shift_verdict_
+        if verdict.exchangeability_alarm and not (
+            previous is not None and previous.exchangeability_alarm
+        ):
+            detail = (
+                guard.martingale_.alarms_[-1].describe()
+                if guard.martingale_ is not None and guard.martingale_.alarms_
+                else verdict.describe()
+            )
+            if self.health.state is ServiceState.READY:
+                self.health.transition(
+                    ServiceState.DEGRADED,
+                    ReasonCode.EXCHANGEABILITY_ALARM,
+                    detail,
+                )
+            else:
+                self.health.note(ReasonCode.EXCHANGEABILITY_ALARM, detail)
+        if verdict.covariate_alarm and not (
+            previous is not None and previous.covariate_alarm
+        ):
+            detail = (
+                guard.detector_.alarms_[-1].describe()
+                if guard.detector_ is not None and guard.detector_.alarms_
+                else verdict.describe()
+            )
+            if self.health.state is ServiceState.READY:
+                self.health.transition(
+                    ServiceState.DEGRADED,
+                    ReasonCode.COVARIATE_SHIFT,
+                    detail,
+                )
+            else:
+                self.health.note(ReasonCode.COVARIATE_SHIFT, detail)
+        known = set(previous.zone_alarms) if previous is not None else set()
+        fresh = sorted(set(verdict.zone_alarms) - known)
+        if fresh:
+            self.health.note(
+                ReasonCode.COVERAGE_ALARM,
+                f"wafer-zone coverage alarm: {', '.join(fresh)}",
+            )
+
+    def repair_shift(
+        self,
+        X_recent: np.ndarray,
+        ratio_columns: Optional[Sequence[int]] = None,
+        min_ess: float = 10.0,
+        ratio_estimator: Optional[Any] = None,
+    ) -> float:
+        """Apply a weighted-conformal repair for a detected covariate shift.
+
+        Estimates density-ratio weights between the served flow's frozen
+        calibration features and ``X_recent`` (the recent, shifted
+        traffic) and installs a weighted recalibration on the flow
+        (:meth:`~repro.robust.flow.RobustVminFlow.recalibrate_weighted`).
+        On success the shift guard is *disarmed* -- the shift is now
+        known and compensated, and sentinels referenced against the
+        stale calibration set would re-alarm on it -- the repair is
+        audited under ``RECALIBRATED``, and the service returns to
+        ``READY`` when nothing else holds it down.  The guard re-arms
+        automatically at the next hot-swap or republication.
+
+        When the weights degenerate
+        (:class:`~repro.shift.DegenerateWeightsError`: the shift is too
+        severe for reweighting to carry a guarantee) the refusal is
+        audited under ``COVARIATE_SHIFT`` and the error re-raised with
+        the served model untouched -- the honest escalation path is a
+        refit on fresh labelled data, not a silently unsupported
+        interval.  Returns the effective sample size of the accepted
+        weights.
+        """
+        with self._lock:
+            model = self._model
+        if not isinstance(model, RobustVminFlow) or model.primary_ is None:
+            raise RejectedRequest(
+                "no fitted RobustVminFlow is being served; nothing to repair"
+            )
+        try:
+            ess = model.recalibrate_weighted(
+                X_recent,
+                ratio_columns=ratio_columns,
+                min_ess=min_ess,
+                ratio_estimator=ratio_estimator,
+            )
+        except DegenerateWeightsError as error:
+            with self._lock:
+                self.health.note(
+                    ReasonCode.COVARIATE_SHIFT,
+                    f"weighted repair refused: {error}",
+                )
+            raise
+        with self._lock:
+            if self.shift_guard is not None:
+                self.shift_guard.disarm()
+            self.last_shift_verdict_ = None
+            self.health.note(
+                ReasonCode.RECALIBRATED,
+                f"weighted shift repair installed (ESS={ess:.1f})",
+            )
+            if (
+                self.health.state is ServiceState.DEGRADED
+                and self._level is FallbackLevel.CURRENT
+                and not self._coverage_alarmed()
+            ):
+                self.health.transition(
+                    ServiceState.READY,
+                    ReasonCode.RECALIBRATED,
+                    "weighted recalibration restored nominal serving",
+                )
+        return float(ess)

@@ -23,7 +23,10 @@ statistical structure:
   heteroscedastic behaviour -- :mod:`repro.silicon.vmin`,
 * the assembled Table-II-shaped dataset -- :mod:`repro.silicon.dataset`,
 * a burn-in / ATE flow simulator producing per-read-point measurement
-  logs -- :mod:`repro.silicon.ate`.
+  logs -- :mod:`repro.silicon.ate`,
+* multi-product / multi-fab fleet generation with process-corner
+  offsets and calendar-time corner drift -- :mod:`repro.silicon.fleet`
+  (the shifted-data source for the :mod:`repro.shift` defense layer).
 
 Everything is seeded and deterministic: ``SiliconDataset.generate(seed)``
 reproduces bit-identical data.
@@ -45,6 +48,15 @@ from repro.silicon.constants import (
 )
 from repro.silicon.dataset import SiliconDataset
 from repro.silicon.defects import DefectModel
+from repro.silicon.fleet import (
+    CornerDrift,
+    CorneredProcessModel,
+    FabProfile,
+    FleetGenerator,
+    FleetLot,
+    ProcessCorner,
+    ProductSpec,
+)
 from repro.silicon.monitors import CPDSensorBank, RODSensorBank
 from repro.silicon.parametric import ParametricTestBank
 from repro.silicon.process import ProcessSample, ProcessVariationModel
@@ -58,7 +70,12 @@ __all__ = [
     "CPDSensorBank",
     "Chip",
     "ChipPopulation",
+    "CornerDrift",
+    "CorneredProcessModel",
     "DefectModel",
+    "FabProfile",
+    "FleetGenerator",
+    "FleetLot",
     "MIN_SPEC_V",
     "MeasurementRecord",
     "N_CHIPS_DEFAULT",
@@ -66,8 +83,10 @@ __all__ = [
     "N_PARAMETRIC_TESTS",
     "N_ROD_SENSORS",
     "ParametricTestBank",
+    "ProcessCorner",
     "ProcessSample",
     "ProcessVariationModel",
+    "ProductSpec",
     "READ_POINTS_HOURS",
     "ROD_TEMPERATURE_C",
     "RODSensorBank",

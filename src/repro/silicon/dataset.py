@@ -87,6 +87,7 @@ class SiliconDataset:
         wafer_model: Optional[WaferModel] = None,
         read_points: Tuple[int, ...] = READ_POINTS_HOURS,
         temperatures: Tuple[float, ...] = TEMPERATURES_C,
+        design_seed: Optional[int] = None,
     ) -> "SiliconDataset":
         """Generate a complete synthetic lot.
 
@@ -94,6 +95,17 @@ class SiliconDataset:
         and each test insertion, so e.g. regenerating with a different
         ``n_chips`` changes all draws coherently while the same arguments
         reproduce identical data.
+
+        ``design_seed``, when given, pins the monitor-bank and
+        parametric-bank *design* draws (sensor placement, nominal
+        delays, channel definitions) to a seed independent of the lot
+        seed.  Lots sharing a ``design_seed`` are the same product
+        measured by the same instruments -- their feature columns are
+        directly comparable -- while process, fabrication, and
+        measurement draws still vary per lot.  This is what
+        :class:`repro.silicon.fleet.FleetGenerator` uses to make
+        cross-lot covariate comparisons meaningful; ``None`` preserves
+        the historical per-lot design draw bit-for-bit.
         """
         if n_chips < 2:
             raise ValueError(f"n_chips must be >= 2, got {n_chips}")
@@ -137,17 +149,27 @@ class SiliconDataset:
         defects = defect_model.sample(n_chips, seeds["defects"])
         population = ChipPopulation(process=process, aging=aging, defects=defects)
 
-        # Monitor banks: design is part of the product (fixed seed derived
-        # from the lot seed keeps sensor placement stable per dataset).
+        # Monitor banks: design is part of the product.  Without a
+        # design_seed the design derives from the lot seed (stable per
+        # dataset, historical behaviour); with one, it derives from the
+        # design seed alone so every lot of the product shares identical
+        # instruments.
         fab_rng = seeds["fabrication"]
-        rod_bank = RODSensorBank(random_state=int(fab_rng.integers(0, 2**31 - 1)))
-        cpd_bank = CPDSensorBank(random_state=int(fab_rng.integers(0, 2**31 - 1)))
+        if design_seed is not None:
+            design_rng = np.random.default_rng(design_seed)
+            rod_state = int(design_rng.integers(0, 2**31 - 1))
+            cpd_state = int(design_rng.integers(0, 2**31 - 1))
+            parametric_state = int(design_rng.integers(0, 2**31 - 1))
+        else:
+            rod_state = int(fab_rng.integers(0, 2**31 - 1))
+            cpd_state = int(fab_rng.integers(0, 2**31 - 1))
+            parametric_state = int(seeds["parametric"].integers(0, 2**31 - 1))
+        rod_bank = RODSensorBank(random_state=rod_state)
+        cpd_bank = CPDSensorBank(random_state=cpd_state)
         rod_bank.fabricate(process, fab_rng)
         cpd_bank.fabricate(process, defects, fab_rng)
 
-        parametric_bank = ParametricTestBank(
-            random_state=int(seeds["parametric"].integers(0, 2**31 - 1))
-        )
+        parametric_bank = ParametricTestBank(random_state=parametric_state)
         parametric = parametric_bank.measure(process, defects, seeds["parametric"])
 
         rod: Dict[int, np.ndarray] = {}

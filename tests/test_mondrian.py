@@ -3,7 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.mondrian import MondrianConformalRegressor
+from repro.core.mondrian import (
+    MondrianConformalRegressor,
+    MondrianFallbackWarning,
+)
 from repro.models.linear import LinearRegression, QuantileLinearRegression
 
 
@@ -69,6 +72,8 @@ class TestMondrian:
         assert intervals.coverage(y[900:]) >= 0.85
 
     def test_unseen_group_falls_back_to_marginal(self, rng):
+        """The fallback must serve every row AND page loudly: one
+        :class:`MondrianFallbackWarning` per call, carrying the keys."""
         X = rng.normal(size=(200, 2))
         y = X[:, 0] + rng.normal(size=200)
 
@@ -81,8 +86,27 @@ class TestMondrian:
         ).fit(X, y)
         X_test = X.copy()
         X_test[0, 1] = 10.0  # force group 99
-        intervals = model.predict_interval(X_test)
+        assert model.unseen_group_keys(X_test) == (99,)
+        with pytest.warns(MondrianFallbackWarning, match="99") as caught:
+            intervals = model.predict_interval(X_test)
         assert len(intervals) == 200
+        fallback = [
+            w for w in caught if isinstance(w.message, MondrianFallbackWarning)
+        ]
+        assert len(fallback) == 1
+        assert fallback[0].message.group_keys == (99,)
+
+    def test_seen_groups_do_not_warn(self, grouped_data):
+        import warnings
+
+        X, y = grouped_data
+        model = MondrianConformalRegressor(
+            LinearRegression(), _group_by_sign, alpha=0.1, random_state=0
+        ).fit(X[:900], y[:900])
+        assert model.unseen_group_keys(X[900:]) == ()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MondrianFallbackWarning)
+            model.predict_interval(X[900:])
 
     def test_too_small_group_raises(self, rng):
         X = rng.normal(size=(40, 2))

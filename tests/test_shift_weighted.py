@@ -1,0 +1,172 @@
+"""Tests for likelihood-ratio-weighted conformal prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import conformal_quantile
+from repro.models.linear import LinearRegression, QuantileLinearRegression
+from repro.shift import (
+    DegenerateWeightsError,
+    LogisticDensityRatio,
+    WeightedBandCalibrator,
+    WeightedConformalRegressor,
+    weighted_conformal_quantile,
+)
+
+
+def _hetero(rng, n, loc=0.0, scale=1.0):
+    """1-D data whose noise grows with |x|: covariate shift moves the
+    score distribution, which is exactly what the weighting corrects."""
+    X = rng.normal(loc=loc, scale=scale, size=(n, 1))
+    y = 1.5 * X[:, 0] + rng.normal(size=n) * (0.2 + 0.5 * np.abs(X[:, 0]))
+    return X, y
+
+
+class TestWeightedQuantile:
+    def test_uniform_weights_match_unweighted(self, rng):
+        scores = rng.normal(size=81)
+        for alpha in (0.05, 0.1, 0.25):
+            assert weighted_conformal_quantile(
+                scores, np.ones_like(scores), alpha
+            ) == conformal_quantile(scores, alpha)
+
+    def test_heavy_test_weight_needs_the_infinite_atom(self):
+        scores = np.array([1.0, 2.0, 3.0])
+        assert weighted_conformal_quantile(
+            scores, np.ones(3), alpha=0.1, test_weight=100.0
+        ) == np.inf
+
+    def test_upweighting_large_scores_widens(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0, 5.0] * 10)
+        uniform = weighted_conformal_quantile(
+            scores, np.ones_like(scores), 0.25
+        )
+        top_heavy = np.where(scores >= 4.0, 5.0, 0.1)
+        shifted = weighted_conformal_quantile(scores, top_heavy, 0.25)
+        assert shifted >= uniform
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            weighted_conformal_quantile([], [], 0.1)
+        with pytest.raises(ValueError, match="match"):
+            weighted_conformal_quantile([1.0], [1.0, 2.0], 0.1)
+        with pytest.raises(ValueError, match="alpha"):
+            weighted_conformal_quantile([1.0], [1.0], 1.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_conformal_quantile([1.0], [-1.0], 0.1)
+        with pytest.raises(ValueError, match="test_weight"):
+            weighted_conformal_quantile([1.0], [1.0], 0.1, test_weight=-1.0)
+        with pytest.raises(ValueError, match="zero"):
+            weighted_conformal_quantile([1.0], [0.0], 0.1, test_weight=0.0)
+
+
+class TestWeightedBandCalibrator:
+    def _band(self, rng):
+        from repro.models.quantile import QuantileBandRegressor
+
+        X, y = _hetero(rng, 400)
+        band = QuantileBandRegressor(QuantileLinearRegression(), alpha=0.1)
+        return band.fit(X[:300], y[:300]), X, y
+
+    def test_degenerate_weights_refused_at_construction(self, rng):
+        band, X, y = self._band(rng)
+        weights = np.zeros(100)
+        weights[0] = 1.0
+        with pytest.raises(DegenerateWeightsError, match="ESS"):
+            WeightedBandCalibrator(
+                band, np.abs(rng.normal(size=100)), weights, min_ess=10.0
+            )
+
+    def test_uniform_weights_reproduce_unweighted_margin(self, rng):
+        band, X, y = self._band(rng)
+        scores = np.abs(rng.normal(size=99))
+        calibrator = WeightedBandCalibrator(
+            band, scores, np.ones_like(scores), alpha=0.1
+        )
+        intervals = calibrator.predict_interval(X[300:])
+        lower, upper = band.predict_interval(X[300:])
+        margin = conformal_quantile(scores, 0.1)
+        np.testing.assert_allclose(intervals.lower, lower - margin)
+        np.testing.assert_allclose(intervals.upper, upper + margin)
+
+    def test_validates_construction(self, rng):
+        band, _, _ = self._band(rng)
+        with pytest.raises(TypeError, match="predict_interval"):
+            WeightedBandCalibrator(object(), [1.0], [1.0])
+        with pytest.raises(ValueError, match="non-empty"):
+            WeightedBandCalibrator(band, [], [])
+        with pytest.raises(ValueError, match="match"):
+            WeightedBandCalibrator(band, [1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="min_ess"):
+            WeightedBandCalibrator(band, [1.0], [1.0], min_ess=0.0)
+
+
+class TestWeightedConformalRegressor:
+    def test_unweighted_coverage_on_exchangeable_data(self, rng):
+        X, y = _hetero(rng, 1200)
+        model = WeightedConformalRegressor(
+            LinearRegression(), alpha=0.1, random_state=0
+        ).fit(X[:800], y[:800])
+        assert model.predict_interval(X[800:]).coverage(y[800:]) >= 0.85
+
+    def test_weighting_restores_coverage_under_covariate_shift(self):
+        rng = np.random.default_rng(0)
+        X, y = _hetero(rng, 1200)
+        model = WeightedConformalRegressor(
+            LinearRegression(),
+            alpha=0.1,
+            random_state=0,
+            ratio_estimator=LogisticDensityRatio(ridge=4.0, random_state=0),
+        ).fit(X, y)
+        rng_test = np.random.default_rng(1)
+        X_shift, y_shift = _hetero(rng_test, 400, loc=1.5, scale=0.8)
+        before = model.predict_interval(X_shift).coverage(y_shift)
+        model.calibrate_to(X_shift)
+        after = model.predict_interval(X_shift).coverage(y_shift)
+        assert before < 0.80  # the shift genuinely breaks plain split CP
+        assert after >= 0.85
+        assert model.ess_ >= model.min_ess
+
+    def test_degenerate_shift_refuses_and_keeps_previous_weighting(self):
+        rng = np.random.default_rng(0)
+        X, y = _hetero(rng, 1200)
+        model = WeightedConformalRegressor(
+            LinearRegression(), alpha=0.1, random_state=0
+        ).fit(X, y)
+        # A tight cluster in the far tail of the reference: a handful of
+        # calibration chips soak up all the mass and the ESS collapses.
+        X_far = np.full((200, 1), 3.0) + rng.normal(
+            scale=0.2, size=(200, 1)
+        )
+        with pytest.raises(DegenerateWeightsError, match="refusing"):
+            model.calibrate_to(X_far)
+        assert model.ratio_ is None
+        assert model.calibration_weights_ is None
+        # Still serves plain unweighted intervals after the refusal.
+        assert len(model.predict_interval(X[:10])) == 10
+
+    def test_quantile_template_uses_band(self, rng):
+        X, y = _hetero(rng, 600)
+        model = WeightedConformalRegressor(
+            QuantileLinearRegression(), alpha=0.1, random_state=0
+        ).fit(X, y)
+        assert model.band_ is not None and model.point_model_ is None
+        intervals = model.predict_interval(X[:50])
+        midpoint = model.predict(X[:50])
+        np.testing.assert_allclose(midpoint, intervals.midpoint)
+
+    def test_calibrate_to_validates_input(self, rng):
+        X, y = _hetero(rng, 400)
+        model = WeightedConformalRegressor(
+            LinearRegression(), alpha=0.1, random_state=0
+        ).fit(X, y)
+        with pytest.raises(ValueError, match="2-D"):
+            model.calibrate_to(np.zeros(5))
+        with pytest.raises(ValueError, match="features"):
+            model.calibrate_to(np.zeros((5, 3)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError, match="alpha"):
+            WeightedConformalRegressor(LinearRegression(), alpha=0.0)
+        with pytest.raises(ValueError, match="min_ess"):
+            WeightedConformalRegressor(LinearRegression(), min_ess=0.0)
